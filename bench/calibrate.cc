@@ -1,0 +1,94 @@
+// Calibration / diagnostic matrix: runs the key (profile x workload x state)
+// combinations and prints throughput, latency, and the internal evidence
+// counters (lock waits, throttle stalls, metadata reads, CPU/device
+// utilization). Used to tune the cost model against the paper's reported
+// shapes; kept as a tool because it doubles as a cluster-health explainer.
+//
+// Usage: calibrate [quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "afceph.h"
+
+using namespace afc;
+
+namespace {
+
+struct Case {
+  const char* name;
+  core::Profile profile;
+  bool sustained;
+  client::WorkloadSpec spec;
+  unsigned vms;
+};
+
+void run_case(const Case& c, Time runtime) {
+  core::ClusterConfig cfg;
+  cfg.profile = c.profile;
+  cfg.sustained = c.sustained;
+  cfg.vms = c.vms;
+  auto spec = c.spec;
+  spec.warmup = 300 * kMillisecond;
+  // Sequential 4M ops complete at ~10/s per VM; give them a longer window.
+  spec.runtime = spec.block_size >= kMiB ? 3 * runtime : runtime;
+  core::ClusterSim cluster(cfg);
+  auto r = cluster.run(spec);
+
+  double dev_util = 0.0;
+  for (std::size_t i = 0; i < cluster.osd_count(); i++) {
+    dev_util = std::max(dev_util, cluster.osd_ssd(i).utilization());
+  }
+  const bool write = spec.write_fraction > 0.5;
+  std::printf(
+      "%-34s %8.0f IOPS  lat %7.2fms p99 %7.2fms cov %.2f | cpu %.2f dev %.2f | "
+      "lockwait %6.1fms/op defer %llu | metaRd %llu jstall %llu wbstall %llu kvslow %llu\n",
+      c.name, write ? r.write_iops : r.read_iops, write ? r.write_lat_ms : r.read_lat_ms,
+      write ? r.write_p99_ms : r.read_p99_ms, write ? r.write_cov : r.read_cov,
+      r.max_osd_node_cpu, dev_util,
+      (write ? r.write_iops : r.read_iops) > 0
+          ? to_ms(r.pg_lock_wait_ns) / ((write ? r.write_iops : r.read_iops) * to_s(runtime))
+          : 0.0,
+      (unsigned long long)r.pending_defers, (unsigned long long)r.metadata_device_reads,
+      (unsigned long long)r.journal_full_stalls, (unsigned long long)r.fs_writeback_stalls,
+      (unsigned long long)r.kv_stall_slowdowns);
+  if (write) {
+    std::printf("    stages(ms): ");
+    for (unsigned s = 1; s < osd::kStageCount; s++) std::printf("%u:%.2f ", s, r.stage_ms[s]);
+    std::printf("total:%.2f\n", r.write_path_total_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default is the quick matrix; pass "full" for longer windows.
+  const bool full = argc > 1 && std::strcmp(argv[1], "full") == 0;
+  const Time runtime = full ? 1500 * kMillisecond : 700 * kMillisecond;
+
+  auto w4 = client::WorkloadSpec::rand_write(4096, 16);
+  auto r4 = client::WorkloadSpec::rand_read(4096, 16);
+  auto w4lo = client::WorkloadSpec::rand_write(4096, 1);
+  auto sw = client::WorkloadSpec::seq_write(4 * kMiB, 4);
+  auto sr = client::WorkloadSpec::seq_read(4 * kMiB, 4);
+
+  const Case cases[] = {
+      {"community sust 4Kw 80vm", core::Profile::community(), true, w4, 80},
+      {"afceph    sust 4Kw 80vm", core::Profile::afceph(), true, w4, 80},
+      {"community sust 4Kw qd1 16vm", core::Profile::community(), true, w4lo, 16},
+      {"afceph    sust 4Kw qd1 16vm", core::Profile::afceph(), true, w4lo, 16},
+      {"community sust 4Kr 80vm", core::Profile::community(), true, r4, 80},
+      {"afceph    sust 4Kr 80vm", core::Profile::afceph(), true, r4, 80},
+      {"community clean 4Kw 40vm", core::Profile::community(), false, w4, 40},
+      {"ladder1   clean 4Kw 40vm", core::Profile::ladder(1), false, w4, 40},
+      {"ladder2   clean 4Kw 40vm", core::Profile::ladder(2), false, w4, 40},
+      {"ladder3   clean 4Kw 40vm", core::Profile::ladder(3), false, w4, 40},
+      {"afceph    clean 4Kw 40vm", core::Profile::afceph(), false, w4, 40},
+      {"community sust seqw 40vm", core::Profile::community(), true, sw, 40},
+      {"afceph    sust seqw 40vm", core::Profile::afceph(), true, sw, 40},
+      {"community sust seqr 40vm", core::Profile::community(), true, sr, 40},
+      {"afceph    sust seqr 40vm", core::Profile::afceph(), true, sr, 40},
+  };
+  for (const auto& c : cases) run_case(c, runtime);
+  return 0;
+}

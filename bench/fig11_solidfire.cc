@@ -1,0 +1,97 @@
+// Figure 11 reproduction: "Virtual Machine max performance comparison:
+// SolidFire vs AFCeph vs Community Ceph" — each system at its best VM/qd
+// configuration, fully random data (so SolidFire pays its dedup pipeline
+// with no dedup wins).
+//
+// Paper shapes:
+//  (a) 4K randwrite, latency-matched (~3-6 ms): SolidFire 78K @ ~2.4ms,
+//      AFCeph 71K @ 3.4ms, Community 3K @ 5.7ms (20x AFCeph/Community);
+//  (c) 32K randwrite: AFCeph beats SolidFire (4K-chunk pipeline pays 8x per
+//      op) and Community;
+//  random read: AFCeph strong; SolidFire collapses at 32K;
+//  (b/d) sequential: both Cephs 3-4x SolidFire (hash placement shreds
+//      sequential streams into random 4K chunks).
+
+#include <cstdio>
+
+#include "afceph.h"
+
+using namespace afc;
+
+namespace {
+
+struct Row {
+  double iops = 0.0;
+  double lat_ms = 0.0;
+};
+
+Row run_ceph(const core::Profile& profile, const client::WorkloadSpec& base, unsigned vms,
+             unsigned qd, bool write) {
+  core::ClusterConfig cfg;
+  cfg.profile = profile;
+  cfg.sustained = true;
+  cfg.vms = vms;
+  core::ClusterSim cluster(cfg);
+  auto spec = base;
+  spec.iodepth = qd;
+  spec.warmup = 300 * kMillisecond;
+  spec.runtime = base.block_size >= kMiB ? 4 * kSecond : 1200 * kMillisecond;
+  auto r = cluster.run(spec);
+  return write ? Row{r.write_iops, r.write_lat_ms} : Row{r.read_iops, r.read_lat_ms};
+}
+
+Row run_solidfire(const client::WorkloadSpec& base, unsigned vms, unsigned qd, bool write) {
+  sf::SolidFireCluster::Config cfg;
+  cfg.vms = vms;
+  sf::SolidFireCluster cluster(cfg);
+  auto spec = base;
+  spec.iodepth = qd;
+  spec.warmup = 300 * kMillisecond;
+  spec.runtime = base.block_size >= kMiB ? 4 * kSecond : 1200 * kMillisecond;
+  auto r = cluster.run(spec);
+  return write ? Row{r.write_iops, r.write_lat_ms} : Row{r.read_iops, r.read_lat_ms};
+}
+
+void compare(const char* name, const client::WorkloadSpec& spec, bool write, unsigned comm_vms,
+             unsigned comm_qd, unsigned afc_qd, unsigned sf_qd) {
+  // Each system runs at its own best-config population/depth, as the paper
+  // did ("considering IOPS and latency"); sequential 4M ops need fewer
+  // concurrent streams so per-op latency stays well inside the window.
+  const bool seq = spec.block_size >= kMiB;
+  const unsigned vms = seq ? 16 : 80;
+  const Row community = run_ceph(core::Profile::community(), spec, comm_vms, comm_qd, write);
+  const Row afceph = run_ceph(core::Profile::afceph(), spec, vms, afc_qd, write);
+  const Row solidfire = run_solidfire(spec, seq ? 16 : 80, sf_qd, write);
+  Table t({"system", "IOPS", "MB/s", "mean lat (ms)"});
+  auto mbps = [&](double iops) {
+    return Table::num(iops * double(spec.block_size) / double(kMiB), 0);
+  };
+  t.row({"SolidFire", Table::kiops(solidfire.iops), mbps(solidfire.iops),
+         Table::num(solidfire.lat_ms, 2)});
+  t.row({"AFCeph", Table::kiops(afceph.iops), mbps(afceph.iops), Table::num(afceph.lat_ms, 2)});
+  t.row({"Community Ceph", Table::kiops(community.iops), mbps(community.iops),
+         Table::num(community.lat_ms, 2)});
+  std::printf("\n--- %s ---\n", name);
+  t.print();
+  if (community.iops > 0) {
+    std::printf("AFCeph / Community = %.1fx, AFCeph / SolidFire = %.2fx\n",
+                afceph.iops / community.iops,
+                solidfire.iops > 0 ? afceph.iops / solidfire.iops : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig.11: SolidFire vs AFCeph vs Community Ceph (best configs, random data)\n");
+  // Latency-matched small-write comparison: low depth, like the paper's
+  // "values extracted from minimal latency".
+  compare("4K random write (latency-matched)", client::WorkloadSpec::rand_write(4096, 1),
+          /*write=*/true, /*comm_vms=*/16, /*comm_qd=*/1, /*afc_qd=*/3, /*sf_qd=*/3);
+  compare("32K random write", client::WorkloadSpec::rand_write(32768, 1), true, 80, 4, 8, 8);
+  compare("4K random read", client::WorkloadSpec::rand_read(4096, 1), false, 80, 8, 8, 8);
+  compare("32K random read", client::WorkloadSpec::rand_read(32768, 1), false, 80, 8, 8, 8);
+  compare("4M sequential write", client::WorkloadSpec::seq_write(4 * kMiB, 1), true, 16, 4, 4, 1);
+  compare("4M sequential read", client::WorkloadSpec::seq_read(4 * kMiB, 1), false, 16, 4, 4, 1);
+  return 0;
+}

@@ -1,0 +1,203 @@
+// afceph_cli — command-line explorer for the simulated cluster. Build any
+// cluster/profile/workload combination from flags, run it, and print the
+// results plus (optionally) the full per-OSD health report. This is the
+// "fio + ceph daemon perf dump" of the repo.
+//
+// Examples:
+//   afceph_cli --profile=community --rw=randwrite --bs=4096 --vms=80
+//   afceph_cli --profile=afceph --rw=randread --bs=32768 --qd=16 --report
+//   afceph_cli --profile=ladder2 --nodes=8 --clean --rw=seqwrite --bs=4194304
+//   afceph_cli --rw=randwrite --zipf=0.9 --runtime-ms=2000 --series
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "afceph.h"
+
+using namespace afc;
+
+namespace {
+
+struct Flags {
+  std::string profile = "afceph";
+  std::string rw = "randwrite";
+  std::uint64_t bs = 4096;
+  unsigned qd = 8;
+  unsigned vms = 40;
+  unsigned nodes = 4;
+  bool clean = false;
+  double zipf = 0.0;
+  double write_fraction = -1.0;  // override for mixed
+  std::uint64_t runtime_ms = 1500;
+  std::uint64_t warmup_ms = 300;
+  std::uint32_t pg_num = 0;  // 0 = default
+  bool report = false;
+  bool series = false;
+  bool verify = false;
+};
+
+void usage() {
+  std::puts(
+      "afceph_cli [flags]\n"
+      "  --profile=community|ladder1..ladder3|afceph   (default afceph)\n"
+      "  --rw=randwrite|randread|seqwrite|seqread|mixed (default randwrite)\n"
+      "  --bs=BYTES            block size (default 4096)\n"
+      "  --qd=N                iodepth per VM (default 8)\n"
+      "  --vms=N               virtual machines (default 40)\n"
+      "  --nodes=N             OSD nodes, 4 OSDs each (default 4)\n"
+      "  --clean               fresh SSDs / empty cluster (default sustained)\n"
+      "  --zipf=THETA          skewed offsets (default 0 = uniform)\n"
+      "  --write-fraction=F    for --rw=mixed (default 0.7)\n"
+      "  --runtime-ms=N --warmup-ms=N\n"
+      "  --pg-num=N            placement groups (default 256*nodes)\n"
+      "  --verify              data-verified reads\n"
+      "  --series              print the IOPS timeline\n"
+      "  --report              print the full per-OSD health report");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool parse(int argc, char** argv, Flags& f) {
+  for (int i = 1; i < argc; i++) {
+    std::string v;
+    const char* a = argv[i];
+    if (parse_flag(a, "--profile", v)) {
+      f.profile = v;
+    } else if (parse_flag(a, "--rw", v)) {
+      f.rw = v;
+    } else if (parse_flag(a, "--bs", v)) {
+      f.bs = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(a, "--qd", v)) {
+      f.qd = unsigned(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(a, "--vms", v)) {
+      f.vms = unsigned(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(a, "--nodes", v)) {
+      f.nodes = unsigned(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (std::strcmp(a, "--clean") == 0) {
+      f.clean = true;
+    } else if (parse_flag(a, "--zipf", v)) {
+      f.zipf = std::strtod(v.c_str(), nullptr);
+    } else if (parse_flag(a, "--write-fraction", v)) {
+      f.write_fraction = std::strtod(v.c_str(), nullptr);
+    } else if (parse_flag(a, "--runtime-ms", v)) {
+      f.runtime_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(a, "--warmup-ms", v)) {
+      f.warmup_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(a, "--pg-num", v)) {
+      f.pg_num = std::uint32_t(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (std::strcmp(a, "--verify") == 0) {
+      f.verify = true;
+    } else if (std::strcmp(a, "--series") == 0) {
+      f.series = true;
+    } else if (std::strcmp(a, "--report") == 0) {
+      f.report = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+core::Profile profile_by_name(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "community") return core::Profile::community();
+  if (name == "afceph") return core::Profile::afceph();
+  if (name.rfind("ladder", 0) == 0 && name.size() == 7 && name[6] >= '0' && name[6] <= '4') {
+    return core::Profile::ladder(name[6] - '0');
+  }
+  ok = false;
+  return core::Profile::community();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags f;
+  if (!parse(argc, argv, f)) {
+    usage();
+    return 2;
+  }
+
+  bool ok = true;
+  core::ClusterConfig cfg;
+  cfg.profile = profile_by_name(f.profile, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown profile: %s\n\n", f.profile.c_str());
+    usage();
+    return 2;
+  }
+  cfg.osd_nodes = f.nodes;
+  cfg.vms = f.vms;
+  cfg.sustained = !f.clean;
+  cfg.pg_num = f.pg_num != 0 ? f.pg_num : 256 * f.nodes;
+
+  client::WorkloadSpec spec;
+  const bool is_seq = f.rw == "seqwrite" || f.rw == "seqread";
+  spec.pattern = is_seq ? client::WorkloadSpec::Pattern::kSequential
+                        : client::WorkloadSpec::Pattern::kRandom;
+  if (f.rw == "randwrite" || f.rw == "seqwrite") {
+    spec.write_fraction = 1.0;
+  } else if (f.rw == "randread" || f.rw == "seqread") {
+    spec.write_fraction = 0.0;
+    if (f.clean) cfg.populated = 1;  // give the reads something to read
+  } else if (f.rw == "mixed") {
+    spec.write_fraction = f.write_fraction >= 0.0 ? f.write_fraction : 0.7;
+  } else {
+    std::fprintf(stderr, "unknown --rw: %s\n\n", f.rw.c_str());
+    usage();
+    return 2;
+  }
+  spec.block_size = f.bs;
+  spec.iodepth = f.qd;
+  spec.zipf_theta = f.zipf;
+  spec.verify = f.verify;
+  spec.warmup = f.warmup_ms * kMillisecond;
+  spec.runtime = f.runtime_ms * kMillisecond;
+
+  std::printf("cluster: %u nodes x 4 OSDs, rep=%u, pg_num=%u, %s, profile=%s\n", f.nodes,
+              cfg.replication, cfg.pg_num, f.clean ? "clean" : "sustained",
+              cfg.profile.name.c_str());
+  std::printf("workload: %s bs=%llu qd=%u vms=%u zipf=%.2f runtime=%llums\n\n", f.rw.c_str(),
+              (unsigned long long)f.bs, f.qd, f.vms, f.zipf,
+              (unsigned long long)f.runtime_ms);
+
+  core::ClusterSim cluster(cfg);
+  auto r = cluster.run(spec);
+
+  if (spec.write_fraction > 0.0) {
+    std::printf("writes: %10.0f IOPS (%8.1f MB/s)  mean %7.2f ms  p99 %8.2f ms  cov %.3f\n",
+                r.write_iops, r.write_iops * double(f.bs) / double(kMiB), r.write_lat_ms,
+                r.write_p99_ms, r.write_cov);
+  }
+  if (spec.write_fraction < 1.0) {
+    std::printf("reads : %10.0f IOPS (%8.1f MB/s)  mean %7.2f ms  p99 %8.2f ms  cov %.3f\n",
+                r.read_iops, r.read_iops * double(f.bs) / double(kMiB), r.read_lat_ms,
+                r.read_p99_ms, r.read_cov);
+  }
+  if (f.verify) std::printf("verify failures: %llu\n", (unsigned long long)r.verify_failures);
+  std::printf(
+      "internals: lock-wait %.0f ms, defers %llu, metaRd %llu, journal-full %.0f ms, "
+      "kv-WA %.2f, max node CPU %.0f%%\n",
+      to_ms(r.pg_lock_wait_ns), (unsigned long long)r.pending_defers,
+      (unsigned long long)r.metadata_device_reads, to_ms(r.journal_full_ns),
+      r.kv_write_amplification, r.max_osd_node_cpu * 100.0);
+
+  if (f.series) {
+    std::printf("\nwrite IOPS timeline:\n%s", r.write_series.to_string(2).c_str());
+    if (spec.write_fraction < 1.0) {
+      std::printf("\nread IOPS timeline:\n%s", r.read_series.to_string(2).c_str());
+    }
+  }
+  if (f.report) std::printf("\n%s", core::health_report(cluster).c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Throttle tuning explorer — the paper's §3.2 in interactive form: sweep
+// filestore_queue_max_ops and osd_client_message_cap around the HDD-era
+// defaults and the paper's SSD sizing ("30K IOPS per block device"), with
+// the lock optimization already applied, and watch both throughput and the
+// fluctuation (CoV) the paper describes. Demonstrates why "changing one
+// parameter" does not fix it — the two throttles must move together.
+
+#include <cstdio>
+
+#include "afceph.h"
+
+using namespace afc;
+
+namespace {
+
+core::RunResult run_with(std::uint64_t fs_ops, std::uint64_t msg_cap) {
+  core::ClusterConfig cfg;
+  cfg.profile = core::Profile::ladder(1);  // lock-opt applied, tuning NOT
+  cfg.profile.name = "lock-opt";
+  cfg.sustained = true;
+  cfg.vms = 64;
+  core::ClusterSim cluster(cfg);
+  // Override the throttles directly (what the admin would put in ceph.conf).
+  for (std::size_t i = 0; i < cluster.osd_count(); i++) {
+    cluster.osd(i).throttles().filestore_ops.set_capacity(fs_ops);
+    cluster.osd(i).throttles().messages.set_capacity(msg_cap);
+  }
+  // Deep queues (fio threads x iodepth): enough in-flight I/O that an
+  // HDD-era message cap actually gates admission.
+  auto spec = client::WorkloadSpec::rand_write(4096, 32);
+  spec.warmup = 300 * kMillisecond;
+  spec.runtime = 1200 * kMillisecond;
+  return cluster.run(spec);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Throttle tuning explorer: 4K randwrite, sustained, lock-opt applied\n"
+      "(community defaults: filestore_queue_max_ops=50, osd_client_message_cap=100;\n"
+      " paper's SSD sizing: 2048 / 5000)\n\n");
+
+  Table t({"filestore_ops", "message_cap", "IOPS", "mean lat (ms)", "fluctuation (CoV)"});
+  const std::uint64_t fs_sweep[] = {50, 256, 2048};
+  const std::uint64_t msg_sweep[] = {100, 1000, 5000};
+  for (auto fs_ops : fs_sweep) {
+    for (auto msg_cap : msg_sweep) {
+      auto r = run_with(fs_ops, msg_cap);
+      t.row({std::to_string(fs_ops), std::to_string(msg_cap), Table::kiops(r.write_iops),
+             Table::num(r.write_lat_ms, 2), Table::num(r.write_cov, 3)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nIn this model filestore_queue_max_ops is the dominant throttle: raising\n"
+      "it from the HDD-era 50 to the paper's SSD sizing unlocks throughput and\n"
+      "cuts latency, while also exposing the journal/filestore oscillation\n"
+      "(CoV jumps once the gate opens) that the paper tames with the rest of\n"
+      "the tuning. The message cap only starts to matter at the very deepest\n"
+      "queues; on the paper's physical testbed both had to move together\n"
+      "(\"this phenomenon is not fixed by changing one parameter\").\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// VM-hosting scenario (the paper's motivating workload): a cloud block
+// service with many VMs doing small random I/O plus a couple of streaming
+// tenants. Shows why the drop-in SSD swap disappoints (community profile)
+// and what the AFCeph optimizations recover — including per-op internals
+// (metadata reads, lock waits, pending-queue defers).
+
+#include <cstdio>
+
+#include "afceph.h"
+
+using namespace afc;
+
+namespace {
+
+void run_tenant_mix(const core::Profile& profile) {
+  core::ClusterConfig cfg;
+  cfg.profile = profile;
+  cfg.sustained = true;  // the cloud has been in production for a while
+  cfg.vms = 32;
+  core::ClusterSim cluster(cfg);
+
+  // Mixed tenant population: 70% write-heavy OLTP-ish VMs, 30% read-mostly.
+  auto spec = client::WorkloadSpec::rand_write(4096, 8);
+  spec.write_fraction = 0.7;
+  spec.warmup = 300 * kMillisecond;
+  spec.runtime = 1500 * kMillisecond;
+  auto r = cluster.run(spec);
+
+  std::printf("\n=== %s ===\n", profile.name.c_str());
+  std::printf("  writes: %8.0f IOPS  mean %.2f ms  p99 %.2f ms\n", r.write_iops, r.write_lat_ms,
+              r.write_p99_ms);
+  std::printf("  reads : %8.0f IOPS  mean %.2f ms  p99 %.2f ms\n", r.read_iops, r.read_lat_ms,
+              r.read_p99_ms);
+  std::printf("  internals:\n");
+  std::printf("    PG-lock wait total        %8.0f ms (%llu contended acquisitions)\n",
+              to_ms(r.pg_lock_wait_ns), (unsigned long long)r.pg_lock_contended);
+  std::printf("    pending-queue defers      %8llu (ops parked, workers kept busy)\n",
+              (unsigned long long)r.pending_defers);
+  std::printf("    metadata reads from disk  %8llu (RMW on the write path)\n",
+              (unsigned long long)r.metadata_device_reads);
+  std::printf("    filestore syscalls        %8llu\n", (unsigned long long)r.syscalls);
+  std::printf("    KV write amplification    %8.2f\n", r.kv_write_amplification);
+  std::printf("    max OSD-node CPU          %8.0f%%\n", r.max_osd_node_cpu * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("VM hosting on all-flash Ceph: 32 VMs, 70/30 write/read 4K mix, sustained\n");
+  run_tenant_mix(core::Profile::community());
+  run_tenant_mix(core::Profile::afceph());
+  std::printf(
+      "\nThe community profile burns its budget on metadata RMW reads, blocking\n"
+      "logging and PG-lock convoys; AFCeph spends the same hardware on I/O.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "client/rbd.h"
+
+#include <cstdio>
+
+namespace afc::client {
+
+std::string RbdImage::object_name(std::uint64_t object_no) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rbd_data.%s.%012llx", name_.c_str(),
+                static_cast<unsigned long long>(object_no));
+  return buf;
+}
+
+RbdImage::Mapping RbdImage::map(std::uint64_t image_offset) const {
+  const std::uint64_t object_no = image_offset / object_size_;
+  const std::uint64_t object_offset = image_offset % object_size_;
+  return Mapping{object_name(object_no), object_offset, object_size_ - object_offset};
+}
+
+}  // namespace afc::client

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "fs/transaction.h"
+
+namespace afc::client {
+
+/// RBD image striping: a block device of `size` bytes backed by 4 MiB RADOS
+/// objects named "rbd_data.<image>.<object-number>", exactly how KRBD maps
+/// block offsets to objects.
+class RbdImage {
+ public:
+  RbdImage(std::string name, std::uint64_t size, std::uint64_t object_size = 4 * kMiB)
+      : name_(std::move(name)), size_(size), object_size_(object_size) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t size() const { return size_; }
+  std::uint64_t object_size() const { return object_size_; }
+  std::uint64_t object_count() const { return (size_ + object_size_ - 1) / object_size_; }
+
+  struct Mapping {
+    std::string object_name;
+    std::uint64_t object_offset;
+    std::uint64_t length;  // contiguous bytes available in this object
+  };
+  /// Map an image byte offset to its backing object (no cross-object I/O is
+  /// split here; callers clamp lengths to `length`).
+  Mapping map(std::uint64_t image_offset) const;
+
+  std::string object_name(std::uint64_t object_no) const;
+
+ private:
+  std::string name_;
+  std::uint64_t size_;
+  std::uint64_t object_size_;
+};
+
+}  // namespace afc::client

@@ -1,0 +1,211 @@
+#include "client/runner.h"
+
+namespace afc::client {
+
+void RunStats::record(bool is_write, Time issued, Time completed) {
+  auto& series = is_write ? write_series : read_series;
+  series.add(completed);
+  if (completed < window_start || completed > window_end || issued < window_start) return;
+  if (is_write) {
+    write_lat.record(completed - issued);
+    writes_completed++;
+  } else {
+    read_lat.record(completed - issued);
+    reads_completed++;
+  }
+}
+
+double RunStats::write_iops() const {
+  const Time span = window_end - window_start;
+  return span == 0 ? 0.0 : double(writes_completed) * double(kSecond) / double(span);
+}
+
+double RunStats::read_iops() const {
+  const Time span = window_end - window_start;
+  return span == 0 ? 0.0 : double(reads_completed) * double(kSecond) / double(span);
+}
+
+VmClient::VmClient(sim::Simulation& sim, net::Node& node, cluster::ClusterMap& cmap,
+                   RbdImage image, std::uint64_t client_id, std::uint64_t seed)
+    : sim_(sim),
+      cmap_(cmap),
+      image_(std::move(image)),
+      client_id_(client_id),
+      rng_(seed),
+      msgr_(sim, node, *this, "vm." + std::to_string(client_id)) {}
+
+VmClient::~VmClient() = default;
+
+void VmClient::add_osd_conn(std::uint32_t osd_id, net::Connection* conn) {
+  osd_conns_[osd_id] = conn;
+}
+
+std::uint64_t VmClient::stable_seed(std::uint64_t image_off) const {
+  return (client_id_ << 40) ^ (image_off * 0x9e3779b97f4a7c15ull) ^ 0x5eed;
+}
+
+sim::CoTask<void> VmClient::on_message(net::Message m) {
+  if (m.type != osd::kWriteReply && m.type != osd::kReadReply) co_return;
+  auto reply = std::static_pointer_cast<osd::IoReplyMsg>(m.body);
+  auto it = pending_.find(reply->op_id);
+  if (it == pending_.end()) co_return;
+  PendingOp* p = it->second;
+  pending_.erase(it);
+  p->ok = reply->ok;
+  p->data_len = reply->data_len;
+  p->data = std::move(reply->data);
+  completed_++;
+  p->done->set();
+}
+
+sim::CoTask<VmClient::PendingOp> VmClient::issue(bool is_write, std::uint64_t image_off,
+                                                 std::uint64_t len, bool want_data,
+                                                 Payload payload) {
+  const std::uint64_t span = is_write ? payload.size() : len;
+  const RbdImage::Mapping head = image_.map(image_off);
+  if (span <= head.length) {
+    co_return co_await issue_one(is_write, image_off, len, want_data, std::move(payload));
+  }
+  // Striping: split into per-object sub-ops and join (KRBD behaviour). The
+  // sub-ops run concurrently; the parent op completes when all do.
+  PendingOp agg{};
+  agg.ok = true;
+  if (want_data) agg.data.emplace();
+  std::uint64_t off = image_off;
+  std::uint64_t remaining = span;
+  while (remaining > 0) {
+    const RbdImage::Mapping m = image_.map(off);
+    const std::uint64_t chunk = std::min(remaining, m.length);
+    Payload piece;
+    if (is_write) piece = payload.slice(off - image_off, chunk);
+    auto p = co_await issue_one(is_write, off, chunk, want_data, std::move(piece));
+    agg.ok = agg.ok && p.ok;
+    agg.data_len += p.data_len;
+    if (want_data) {
+      if (p.data.has_value()) {
+        agg.data->insert(agg.data->end(), p.data->begin(), p.data->end());
+      } else {
+        agg.ok = false;
+      }
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+  co_return agg;
+}
+
+sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_t image_off,
+                                                     std::uint64_t len, bool want_data,
+                                                     Payload payload) {
+  const RbdImage::Mapping m = image_.map(image_off);
+  auto msg = std::make_shared<osd::ClientIoMsg>();
+  msg->op_id = (client_id_ << 24) | next_seq_++;
+  msg->client_id = client_id_;
+  msg->oid.name = m.object_name;
+  msg->oid.pg = cmap_.pg_of(m.object_name);
+  msg->pg = msg->oid.pg;
+  msg->offset = m.object_offset;
+  msg->is_write = is_write;
+  msg->want_data = want_data;
+  msg->issued_at = sim_.now();
+  if (is_write) {
+    msg->data = std::move(payload);
+  } else {
+    msg->read_len = len;
+  }
+
+  const std::uint32_t primary = cmap_.primary(msg->pg);
+  auto conn_it = osd_conns_.find(primary);
+  PendingOp p{};
+  if (conn_it == osd_conns_.end()) {
+    p.ok = false;
+    co_return p;
+  }
+
+  sim::OneShot done(sim_);
+  p.done = &done;
+  pending_[msg->op_id] = &p;
+  issued_++;
+  if (op_cpu_ > 0) co_await msgr_.node().cpu().consume(op_cpu_);
+
+  net::Message wire;
+  wire.type = is_write ? osd::kClientWrite : osd::kClientRead;
+  wire.size = (is_write ? msg->data.size() : 0) + 150;
+  wire.body = std::move(msg);
+  conn_it->second->send(std::move(wire));
+
+  co_await done.wait();
+  co_return p;
+}
+
+sim::CoTask<void> VmClient::io_loop(WorkloadSpec spec, Time stop_at, RunStats* sink,
+                                    unsigned job) {
+  // Sequential jobs stream over disjoint regions, fio-style.
+  const std::uint64_t blocks = image_.size() / spec.block_size;
+  const std::uint64_t region_blocks = std::max<std::uint64_t>(1, blocks / spec.iodepth);
+  std::uint64_t cursor = std::uint64_t(job) * region_blocks;
+
+  while (sim_.now() < stop_at) {
+    const bool is_write = spec.write_fraction >= 1.0 ||
+                          (spec.write_fraction > 0.0 && rng_.uniform() < spec.write_fraction);
+    std::uint64_t block_no;
+    if (spec.pattern == WorkloadSpec::Pattern::kSequential) {
+      block_no = cursor;
+      cursor++;
+      if (cursor >= std::min(blocks, (std::uint64_t(job) + 1) * region_blocks)) {
+        cursor = std::uint64_t(job) * region_blocks;
+      }
+    } else if (spec.zipf_theta > 0.0) {
+      // Zipf rank maps to the block directly: hot blocks cluster in the
+      // image's first objects, concentrating load on few PGs — the hot-spot
+      // pattern that stresses the PG lock.
+      block_no = rng_.zipf(blocks, spec.zipf_theta);
+    } else {
+      block_no = rng_.uniform_int(0, blocks - 1);
+    }
+    std::uint64_t off = block_no * spec.block_size;
+
+    const Time issued_at = sim_.now();
+    if (is_write) {
+      const std::uint64_t seed =
+          spec.verify ? stable_seed(off) : (client_id_ << 40) ^ (issued_ * 0x9e37ull) ^ off;
+      auto p = co_await issue(true, off, spec.block_size, false,
+                              Payload::pattern(spec.block_size, seed));
+      (void)p;
+      if (spec.verify) written_offsets_.insert(off);
+    } else {
+      const bool check = spec.verify && written_offsets_.count(off) != 0;
+      auto p = co_await issue(false, off, spec.block_size, check, Payload{});
+      if (check && sink != nullptr) {
+        const auto expected = Payload::pattern(spec.block_size, stable_seed(off));
+        if (!p.ok || !p.data.has_value() ||
+            !Payload::bytes(std::move(*p.data)).content_equals(expected)) {
+          sink->verify_failures++;
+        }
+      }
+    }
+    if (sink != nullptr) sink->record(is_write, issued_at, sim_.now());
+  }
+}
+
+void VmClient::start(const WorkloadSpec& spec, Time stop_at, RunStats* sink) {
+  for (unsigned job = 0; job < spec.iodepth; job++) {
+    sim::spawn(io_loop(spec, stop_at, sink, job));
+  }
+}
+
+sim::CoTask<bool> VmClient::write_once(std::uint64_t image_off, Payload data) {
+  auto p = co_await issue(true, image_off, data.size(), false, std::move(data));
+  co_return p.ok;
+}
+
+sim::CoTask<VmClient::ReadOnce> VmClient::read_once(std::uint64_t image_off,
+                                                    std::uint64_t len) {
+  auto p = co_await issue(false, image_off, len, true, Payload{});
+  ReadOnce out;
+  out.ok = p.ok;
+  if (p.data.has_value()) out.data = std::move(*p.data);
+  co_return out;
+}
+
+}  // namespace afc::client

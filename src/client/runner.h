@@ -1,0 +1,109 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "client/rbd.h"
+#include "client/workload.h"
+#include "cluster/map.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/timeseries.h"
+#include "osd/op.h"
+
+namespace afc::client {
+
+/// Aggregated measurement sink shared by all VMs of one run: latency
+/// histograms and IOPS time-series (for fluctuation analysis) plus the
+/// measurement window, fio-style (completions during warmup are excluded
+/// from the histograms but appear in the series).
+struct RunStats {
+  Time window_start = 0;
+  Time window_end = ~Time(0);
+  Histogram write_lat;
+  Histogram read_lat;
+  TimeSeries write_series{100 * kMillisecond};
+  TimeSeries read_series{100 * kMillisecond};
+  std::uint64_t writes_completed = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t verify_failures = 0;
+
+  void record(bool is_write, Time issued, Time completed);
+
+  double write_iops() const;
+  double read_iops() const;
+};
+
+/// One virtual machine: a KRBD-attached block device driven by a closed-loop
+/// fio-like load generator with `iodepth` outstanding I/Os. Writes carry
+/// deterministic patterns; in verify mode reads check them end-to-end
+/// through the whole replicated OSD pipeline.
+class VmClient : public net::Receiver {
+ public:
+  VmClient(sim::Simulation& sim, net::Node& node, cluster::ClusterMap& cmap, RbdImage image,
+           std::uint64_t client_id, std::uint64_t seed);
+  ~VmClient() override;
+
+  net::Messenger& messenger() { return msgr_; }
+  const RbdImage& image() const { return image_; }
+  std::uint64_t client_id() const { return client_id_; }
+
+  /// Cluster wiring: register the connection to an OSD.
+  void add_osd_conn(std::uint32_t osd_id, net::Connection* conn);
+
+  /// Client-side CPU charged per I/O (fio + KRBD + dispatch).
+  void set_op_cpu(Time cpu) { op_cpu_ = cpu; }
+
+  /// Launch the workload's closed loops; they stop issuing at `stop_at`.
+  void start(const WorkloadSpec& spec, Time stop_at, RunStats* sink);
+
+  sim::CoTask<void> on_message(net::Message m) override;
+
+  // Single-shot operations for tests, examples and control paths. I/O that
+  // crosses object boundaries is striped into per-object sub-ops, exactly
+  // like KRBD.
+  sim::CoTask<bool> write_once(std::uint64_t image_off, Payload data);
+  struct ReadOnce {
+    bool ok = false;
+    std::vector<std::uint8_t> data;
+  };
+  sim::CoTask<ReadOnce> read_once(std::uint64_t image_off, std::uint64_t len);
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct PendingOp {
+    sim::OneShot* done;
+    bool ok = false;
+    std::uint64_t data_len = 0;
+    std::optional<std::vector<std::uint8_t>> data;
+  };
+
+  sim::CoTask<void> io_loop(WorkloadSpec spec, Time stop_at, RunStats* sink, unsigned job);
+  /// Issue one I/O and wait for its completion; returns the filled pending
+  /// record. `payload` is the write body (ignored for reads).
+  sim::CoTask<PendingOp> issue(bool is_write, std::uint64_t image_off, std::uint64_t len,
+                               bool want_data, Payload payload);
+  /// One per-object sub-op (image_off..+len must not cross an object).
+  sim::CoTask<PendingOp> issue_one(bool is_write, std::uint64_t image_off, std::uint64_t len,
+                                   bool want_data, Payload payload);
+  std::uint64_t stable_seed(std::uint64_t image_off) const;
+
+  sim::Simulation& sim_;
+  cluster::ClusterMap& cmap_;
+  RbdImage image_;
+  std::uint64_t client_id_;
+  Rng rng_;
+  Time op_cpu_ = 0;
+  net::Messenger msgr_;
+  std::unordered_map<std::uint32_t, net::Connection*> osd_conns_;
+  std::unordered_map<std::uint64_t, PendingOp*> pending_;
+  std::unordered_set<std::uint64_t> written_offsets_;  // verify mode
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace afc::client

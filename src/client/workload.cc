@@ -1,0 +1,23 @@
+#include "client/workload.h"
+
+#include <cstdio>
+
+namespace afc::client {
+
+std::string WorkloadSpec::to_string() const {
+  const char* pat = pattern == Pattern::kRandom ? "rand" : "seq";
+  const char* op = write_fraction >= 1.0   ? "write"
+                   : write_fraction <= 0.0 ? "read"
+                                           : "mixed";
+  char buf[96];
+  if (block_size >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%s%s-%lluM-qd%u", pat, op,
+                  static_cast<unsigned long long>(block_size / kMiB), iodepth);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%s-%lluK-qd%u", pat, op,
+                  static_cast<unsigned long long>(block_size / 1024), iodepth);
+  }
+  return buf;
+}
+
+}  // namespace afc::client

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace afc::client {
+
+/// fio-style workload description (the paper drives everything with fio via
+/// KRBD: 4K/32K random read/write and sequential read/write at various
+/// thread counts and iodepths).
+struct WorkloadSpec {
+  enum class Pattern { kRandom, kSequential };
+
+  Pattern pattern = Pattern::kRandom;
+  /// 1.0 = pure write, 0.0 = pure read, in between = mixed.
+  double write_fraction = 1.0;
+  std::uint64_t block_size = 4096;
+  /// Outstanding I/Os per VM (fio numjobs x iodepth collapsed into one
+  /// closed-loop depth).
+  unsigned iodepth = 8;
+  Time warmup = 300 * kMillisecond;
+  Time runtime = 1500 * kMillisecond;
+  /// Reads materialize bytes and verify the fio-style pattern.
+  bool verify = false;
+  /// Skew of the random offset distribution: 0 = uniform; >0 = Zipf over
+  /// blocks (hot objects -> hot PGs -> lock contention; the access pattern
+  /// cloud block workloads actually have).
+  double zipf_theta = 0.0;
+
+  static WorkloadSpec rand_write(std::uint64_t bs, unsigned depth) {
+    WorkloadSpec s;
+    s.pattern = Pattern::kRandom;
+    s.write_fraction = 1.0;
+    s.block_size = bs;
+    s.iodepth = depth;
+    return s;
+  }
+  static WorkloadSpec rand_read(std::uint64_t bs, unsigned depth) {
+    WorkloadSpec s = rand_write(bs, depth);
+    s.write_fraction = 0.0;
+    return s;
+  }
+  static WorkloadSpec seq_write(std::uint64_t bs, unsigned depth) {
+    WorkloadSpec s = rand_write(bs, depth);
+    s.pattern = Pattern::kSequential;
+    return s;
+  }
+  static WorkloadSpec seq_read(std::uint64_t bs, unsigned depth) {
+    WorkloadSpec s = rand_read(bs, depth);
+    s.pattern = Pattern::kSequential;
+    return s;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace afc::client

@@ -1,0 +1,81 @@
+#include "cluster/crush.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace afc::cluster {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+void Crush::add_osd(std::uint32_t id, std::uint32_t host, double weight) {
+  osds_.push_back(OsdEntry{id, host, weight, true});
+}
+
+void Crush::set_up(std::uint32_t id, bool up) {
+  for (auto& o : osds_) {
+    if (o.id == id) o.up = up;
+  }
+}
+
+double Crush::draw(std::uint32_t pool, std::uint32_t pg, std::uint32_t osd, double weight) {
+  const std::uint64_t h =
+      mix((std::uint64_t(pool) << 48) ^ (std::uint64_t(pg) << 16) ^ osd ^ 0x1f3d5b79ull);
+  // Map to (0,1]; ln(u) <= 0, so higher weight -> draw closer to 0 -> wins.
+  const double u = (double(h >> 11) + 1.0) * 0x1.0p-53;
+  return std::log(u) / weight;
+}
+
+std::vector<std::uint32_t> Crush::place(std::uint32_t pool, std::uint32_t pg,
+                                        unsigned size) const {
+  struct Scored {
+    double score;
+    const OsdEntry* osd;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(osds_.size());
+  for (const auto& o : osds_) {
+    if (!o.up || o.weight <= 0.0) continue;
+    scored.push_back({draw(pool, pg, o.id, o.weight), &o});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.osd->id < b.osd->id;
+  });
+
+  std::unordered_set<std::uint32_t> hosts;
+  for (const auto& s : scored) hosts.insert(s.osd->host);
+  const bool enforce_hosts = hosts.size() >= size;
+
+  std::vector<std::uint32_t> acting;
+  std::unordered_set<std::uint32_t> used_hosts;
+  for (const auto& s : scored) {
+    if (acting.size() >= size) break;
+    if (enforce_hosts && used_hosts.count(s.osd->host)) continue;
+    used_hosts.insert(s.osd->host);
+    acting.push_back(s.osd->id);
+  }
+  // If host separation left us short (all remaining share hosts), relax it.
+  if (acting.size() < size) {
+    for (const auto& s : scored) {
+      if (acting.size() >= size) break;
+      if (std::find(acting.begin(), acting.end(), s.osd->id) == acting.end()) {
+        acting.push_back(s.osd->id);
+      }
+    }
+  }
+  return acting;
+}
+
+}  // namespace afc::cluster

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace afc::cluster {
+
+/// Straw2-style CRUSH placement: every OSD "draws a straw" for a PG —
+/// draw = ln(U(hash(pg, osd))) / weight — and the highest draws win, with
+/// host as the failure domain (replicas land on distinct nodes). The key
+/// properties the paper's system relies on, and which the tests assert:
+///  * deterministic: clients and OSDs compute identical mappings with no
+///    metadata-server hop (the paper contrasts this with SolidFire);
+///  * balanced: PGs spread ~evenly by weight;
+///  * minimal movement: adding an OSD only remaps the PGs it wins.
+class Crush {
+ public:
+  struct OsdEntry {
+    std::uint32_t id;
+    std::uint32_t host;
+    double weight = 1.0;
+    bool up = true;
+  };
+
+  void add_osd(std::uint32_t id, std::uint32_t host, double weight = 1.0);
+  void set_up(std::uint32_t id, bool up);
+  std::size_t osd_count() const { return osds_.size(); }
+  const std::vector<OsdEntry>& osds() const { return osds_; }
+
+  /// Acting set for a PG: `size` distinct OSDs, primary first, at most one
+  /// per host (falls back to allowing host reuse only when hosts < size).
+  std::vector<std::uint32_t> place(std::uint32_t pool, std::uint32_t pg, unsigned size) const;
+
+ private:
+  static double draw(std::uint32_t pool, std::uint32_t pg, std::uint32_t osd, double weight);
+  std::vector<OsdEntry> osds_;
+};
+
+}  // namespace afc::cluster

@@ -1,0 +1,17 @@
+#include "cluster/map.h"
+
+namespace afc::cluster {
+
+std::uint32_t ClusterMap::pg_of(std::string_view object_name) const {
+  // FNV-1a then mask to pg_num (pg_num is a power of two, like rjenkins +
+  // stable_mod in Ceph).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : object_name) {
+    h ^= std::uint8_t(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 33;
+  return std::uint32_t(h & (pool_.pg_num - 1));
+}
+
+}  // namespace afc::cluster

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cluster/crush.h"
+
+namespace afc::cluster {
+
+/// Cluster map: pool parameters + CRUSH topology + epoch. Both clients and
+/// OSDs hold a reference and compute object → PG → acting-set mappings
+/// locally (Ceph's "no metadata server on the data path").
+class ClusterMap {
+ public:
+  struct PoolConfig {
+    std::uint32_t pg_num = 1024;  // power of two
+    unsigned replication = 2;
+  };
+
+  ClusterMap(const PoolConfig& pool) : pool_(pool) {}
+  ClusterMap() : ClusterMap(PoolConfig{}) {}
+
+  Crush& crush() { return crush_; }
+  const Crush& crush() const { return crush_; }
+  const PoolConfig& pool() const { return pool_; }
+
+  std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { epoch_++; }
+
+  /// Stable hash of an object name onto a PG (ps = placement seed).
+  std::uint32_t pg_of(std::string_view object_name) const;
+
+  /// Acting set (primary first) for a PG. Cached per epoch — bump_epoch()
+  /// after topology changes to force recomputation (a CRUSH map push).
+  const std::vector<std::uint32_t>& acting(std::uint32_t pg) const {
+    if (cache_epoch_ != epoch_) {
+      acting_cache_.assign(pool_.pg_num, {});
+      cache_epoch_ = epoch_;
+    }
+    auto& slot = acting_cache_[pg];
+    if (slot.empty()) slot = crush_.place(/*pool=*/0, pg, pool_.replication);
+    return slot;
+  }
+  std::uint32_t primary(std::uint32_t pg) const {
+    const auto& a = acting(pg);
+    return a.empty() ? 0 : a[0];
+  }
+
+ private:
+  PoolConfig pool_;
+  Crush crush_;
+  std::uint64_t epoch_ = 1;
+  mutable std::uint64_t cache_epoch_ = 0;
+  mutable std::vector<std::vector<std::uint32_t>> acting_cache_;
+};
+
+}  // namespace afc::cluster

@@ -1,0 +1,67 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+namespace afc {
+
+Histogram::Histogram() : buckets_((64 - kSubBucketBits + 1) * kSubBuckets, 0) {}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return std::size_t(value);
+  const int magnitude = std::bit_width(value) - kSubBucketBits;  // >= 1
+  const std::uint64_t sub = value >> magnitude;                  // in [kSubBuckets/2? .. kSubBuckets)
+  return std::size_t(magnitude) * kSubBuckets + std::size_t(sub);
+}
+
+std::uint64_t Histogram::bucket_midpoint(std::size_t index) {
+  const std::size_t magnitude = index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  if (magnitude == 0) return sub;
+  // Bucket covers [sub << magnitude, (sub+1) << magnitude); return midpoint.
+  const std::uint64_t lo = sub << magnitude;
+  return lo + ((1ull << magnitude) >> 1);
+}
+
+void Histogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[bucket_index(value)] += n;
+  count_ += n;
+  sum_ += value * n;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = std::uint64_t(q * double(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen >= target) return bucket_midpoint(i);
+  }
+  return max_;
+}
+
+}  // namespace afc

@@ -1,0 +1,25 @@
+#include "common/interned.h"
+
+namespace afc {
+
+InternPool::Id InternPool::intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) {
+    hits_++;
+    return it->second;
+  }
+  misses_++;
+  const Id id = Id(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+bool InternPool::find(std::string_view s, Id& id) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return false;
+  id = it->second;
+  return true;
+}
+
+}  // namespace afc

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace afc {
+
+/// String interning pool: maps repeated strings (log format templates,
+/// object-name prefixes) to small ids so hot paths avoid re-allocating and
+/// re-formatting identical strings. This is the "log cache" mechanism of
+/// the paper's non-blocking logging (§3.3): once a log template is interned,
+/// emitting it again costs a hash lookup instead of a string construction.
+class InternPool {
+ public:
+  using Id = std::uint32_t;
+
+  /// Intern `s`, returning a stable id. Idempotent.
+  Id intern(std::string_view s);
+
+  /// Look up without inserting; returns true and sets `id` on hit.
+  bool find(std::string_view s, Id& id) const;
+
+  const std::string& lookup(Id id) const { return strings_[id]; }
+  std::size_t size() const { return strings_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, Id> index_;
+  std::vector<std::string> strings_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace afc

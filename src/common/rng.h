@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace afc {
+
+/// Deterministic xoshiro256++ PRNG. Each simulated component owns its own
+/// seeded stream so runs are reproducible regardless of scheduling order.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller, scaled to (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Lognormal-ish heavy tail: mean * exp(sigma * N(0,1) - sigma^2/2).
+  double lognormal(double mean, double sigma);
+
+  /// Zipf-distributed rank in [0, n) with exponent theta (0 = uniform).
+  std::uint64_t zipf(std::uint64_t n, double theta);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  // Cached zipf normalization (recomputed when (n, theta) changes).
+  std::uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zeta_ = 0.0;
+};
+
+}  // namespace afc

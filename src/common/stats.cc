@@ -1,0 +1,21 @@
+#include "common/stats.h"
+
+namespace afc {
+
+std::uint64_t Counters::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string Counters::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : counters_) {
+    out += k;
+    out += " = ";
+    out += std::to_string(v);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace afc

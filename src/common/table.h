@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace afc {
+
+/// Minimal fixed-column console table used by the bench harnesses to print
+/// figure reproductions in an aligned, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: format cells from doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string kiops(double iops);  // "81.3K"
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace afc

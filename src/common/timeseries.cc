@@ -1,0 +1,52 @@
+#include "common/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace afc {
+
+void TimeSeries::add(Time when, double amount) {
+  const std::size_t bucket = std::size_t(when / interval_);
+  if (bucket >= points_.size()) points_.resize(bucket + 1, 0.0);
+  points_[bucket] += amount;
+}
+
+double TimeSeries::rate(std::size_t i) const {
+  return points_[i] * double(kSecond) / double(interval_);
+}
+
+double TimeSeries::mean_rate(std::size_t from, std::size_t to) const {
+  if (to > points_.size()) to = points_.size();
+  if (from >= to) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = from; i < to; i++) sum += rate(i);
+  return sum / double(to - from);
+}
+
+double TimeSeries::cov(std::size_t from, std::size_t to) const {
+  if (to > points_.size()) to = points_.size();
+  if (from >= to) return 0.0;
+  const double mean = mean_rate(from, to);
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (std::size_t i = from; i < to; i++) {
+    const double d = rate(i) - mean;
+    var += d * d;
+  }
+  var /= double(to - from);
+  return std::sqrt(var) / mean;
+}
+
+std::string TimeSeries::to_string(std::size_t stride) const {
+  if (stride == 0) stride = 1;
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < points_.size(); i += stride) {
+    std::snprintf(buf, sizeof(buf), "t=%.1fs %.0f\n",
+                  double(i) * double(interval_) / double(kSecond), rate(i));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace afc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace afc {
+
+/// Accumulates per-interval counters over virtual time (e.g. IOPS each
+/// 100 ms) so harnesses can print throughput timelines (paper Fig. 4) and
+/// detect fluctuation.
+class TimeSeries {
+ public:
+  TimeSeries() : TimeSeries(100 * kMillisecond) {}
+  explicit TimeSeries(Time interval) : interval_(interval) {}
+
+  void add(Time when, double amount = 1.0);
+
+  Time interval() const { return interval_; }
+  std::size_t size() const { return points_.size(); }
+
+  /// Value of bucket i, converted to a per-second rate.
+  double rate(std::size_t i) const;
+  /// Raw accumulated value of bucket i.
+  double value(std::size_t i) const { return points_[i]; }
+
+  /// Mean of per-second rates over [from, to) bucket indices.
+  double mean_rate(std::size_t from, std::size_t to) const;
+
+  /// Coefficient of variation of the per-second rate over [from, to):
+  /// stddev / mean. >~0.2 indicates the fluctuation the paper describes.
+  double cov(std::size_t from, std::size_t to) const;
+
+  /// Render "t=0.0s 12345.0, t=0.1s ..." rows; bucket stride for brevity.
+  std::string to_string(std::size_t stride = 1) const;
+
+ private:
+  Time interval_;
+  std::vector<double> points_;
+};
+
+}  // namespace afc

@@ -1,0 +1,284 @@
+#include "core/cluster_sim.h"
+
+#include <set>
+
+namespace afc::core {
+
+ClusterSim::ClusterSim(ClusterConfig cfg)
+    : cfg_(std::move(cfg)),
+      cmap_(cluster::ClusterMap::PoolConfig{cfg_.pg_num, cfg_.replication}) {
+  // --- environment-dependent defaults ---------------------------------
+  cfg_.ssd.sustained = cfg_.sustained;
+  cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
+  if (cfg_.sustained) {
+    cfg_.fs.page_cache_pages = 16384;  // 64 MiB: cold vs the working set
+  } else {
+    cfg_.fs.page_cache_pages = 262144;  // 1 GiB: small images stay resident
+  }
+
+  const osd::ThrottleSet::Config throttle_cfg = cfg_.profile.ssd_throttles
+                                                    ? osd::ThrottleSet::Config::ssd_tuned()
+                                                    : osd::ThrottleSet::Config::community();
+
+  // --- nodes, devices, OSDs --------------------------------------------
+  const unsigned total_osds = cfg_.osd_nodes * cfg_.osds_per_node;
+  for (unsigned n = 0; n < cfg_.osd_nodes; n++) {
+    osd_nodes_.push_back(std::make_unique<net::Node>(
+        sim_, "node." + std::to_string(n), net::Node::Config{cfg_.node_cores, 1250 * kMiB}));
+    nvrams_.push_back(
+        std::make_unique<dev::NvramModel>(sim_, "nvram." + std::to_string(n), cfg_.nvram));
+  }
+  for (unsigned c = 0; c < cfg_.client_nodes; c++) {
+    client_nodes_.push_back(
+        std::make_unique<net::Node>(sim_, "client." + std::to_string(c),
+                                    net::Node::Config{cfg_.client_node_cores, 1250 * kMiB}));
+  }
+
+  for (unsigned i = 0; i < total_osds; i++) {
+    const unsigned node = i / cfg_.osds_per_node;
+    cmap_.crush().add_osd(i, node);
+    // Paper §4.1: "OSD 1~4 uses 3,3,2,2 SSDs respectively", RAID-0.
+    dev::SsdModel::Config ssd_cfg = cfg_.ssd;
+    ssd_cfg.drives = (i % cfg_.osds_per_node) < 2 ? 3 : 2;
+    ssds_.push_back(std::make_unique<dev::SsdModel>(sim_, "ssd." + std::to_string(i), ssd_cfg));
+    osds_.push_back(std::make_unique<osd::Osd>(
+        sim_, *osd_nodes_[node], *nvrams_[node], *ssds_[i], cmap_, i, cfg_.osd, cfg_.profile,
+        cfg_.fs, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
+  }
+
+  // --- PG instantiation --------------------------------------------------
+  for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    for (std::uint32_t osd_id : acting) {
+      osds_[osd_id]->create_pg(pg, acting);
+    }
+  }
+
+  // --- cluster-network wiring (TCP_NODELAY, as Ceph sets on its sockets) -
+  net::Connection::Config cluster_net = cfg_.net;
+  cluster_net.nagle = false;
+  for (unsigned i = 0; i < total_osds; i++) {
+    for (unsigned j = i + 1; j < total_osds; j++) {
+      net::Connection* conn = osds_[i]->messenger().connect(osds_[j]->messenger(), cluster_net);
+      osds_[i]->add_peer(j, conn);
+      osds_[j]->add_peer(i, conn->reverse());
+    }
+  }
+
+  // --- VMs ---------------------------------------------------------------
+  net::Connection::Config client_net = cfg_.net;
+  client_net.nagle = !cfg_.profile.disable_nagle;  // KRBD default: Nagle on
+  for (unsigned v = 0; v < cfg_.vms; v++) {
+    net::Node& host = *client_nodes_[v % cfg_.client_nodes];
+    vms_.push_back(std::make_unique<client::VmClient>(
+        sim_, host, cmap_, client::RbdImage("vm" + std::to_string(v), cfg_.image_size),
+        /*client_id=*/v + 1, cfg_.seed + 7919 * (v + 1)));
+    vms_.back()->set_op_cpu(cfg_.client_op_cpu);
+    for (unsigned i = 0; i < total_osds; i++) {
+      net::Connection* conn = vms_.back()->messenger().connect(osds_[i]->messenger(), client_net);
+      vms_.back()->add_osd_conn(i, conn);
+    }
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+RunResult ClusterSim::run(const client::WorkloadSpec& spec) {
+  if (ran_) return RunResult{};  // single-shot facade
+  ran_ = true;
+
+  client::RunStats stats;
+  const Time t0 = sim_.now();
+  stats.window_start = t0 + spec.warmup;
+  stats.window_end = t0 + spec.warmup + spec.runtime;
+  for (auto& vm : vms_) vm->start(spec, stats.window_end, &stats);
+  sim_.run_until(stats.window_end);
+
+  RunResult r;
+  r.write_iops = stats.write_iops();
+  r.read_iops = stats.read_iops();
+  r.write_lat_ms = stats.write_lat.mean_ms();
+  r.read_lat_ms = stats.read_lat.mean_ms();
+  r.write_p99_ms = stats.write_lat.p99_ms();
+  r.read_p99_ms = stats.read_lat.p99_ms();
+  const std::size_t wfrom = std::size_t(stats.window_start / stats.write_series.interval());
+  const std::size_t wto = std::size_t(stats.window_end / stats.write_series.interval());
+  r.write_cov = stats.write_series.cov(wfrom, wto);
+  r.read_cov = stats.read_series.cov(wfrom, wto);
+  r.write_lat = stats.write_lat;
+  r.read_lat = stats.read_lat;
+  r.write_series = stats.write_series;
+  r.read_series = stats.read_series;
+  r.verify_failures = stats.verify_failures;
+  collect_osd_stats(r);
+  return r;
+}
+
+void ClusterSim::collect_osd_stats(RunResult& r) const {
+  Histogram stage_merged[osd::kStageCount];
+  Histogram total_merged;
+  for (const auto& o : osds_) {
+    r.pg_lock_wait_ns += o->pg_lock_wait_ns();
+    r.pg_lock_contended += o->pg_lock_contended();
+    r.pending_defers += o->pending_defers();
+    r.journal_full_stalls += o->journal().full_stalls();
+    r.journal_full_ns += o->journal().full_stall_ns();
+    r.fs_writeback_stalls += o->store().writeback_stalls();
+    r.log_entries_dropped += o->dlog().dropped();
+    r.metadata_device_reads += o->store().metadata_device_reads();
+    r.syscalls += o->store().syscalls();
+    r.kv_write_amplification =
+        std::max(r.kv_write_amplification, o->omap_db().write_amplification());
+    r.kv_stall_slowdowns += o->omap_db().stall_slowdowns();
+    for (unsigned s = 0; s < osd::kStageCount; s++) stage_merged[s].merge(o->stage_delta(s));
+    total_merged.merge(o->write_total_hist());
+  }
+  for (unsigned s = 0; s < osd::kStageCount; s++) r.stage_ms[s] = stage_merged[s].mean_ms();
+  r.write_path_total_ms = total_merged.mean_ms();
+  for (const auto& n : osd_nodes_) {
+    r.max_osd_node_cpu = std::max(r.max_osd_node_cpu, n->cpu().utilization());
+  }
+}
+
+sim::CoTask<std::uint64_t> ClusterSim::rebalance(
+    const std::vector<std::vector<std::uint32_t>>& old_acting) {
+  std::uint64_t migrated = 0;
+  for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    if (acting == old_acting[pg]) continue;
+    // Pick a surviving member of the old set as the backfill source.
+    osd::Osd* source = nullptr;
+    for (std::uint32_t member : old_acting[pg]) {
+      if (cmap_.crush().osds()[member].up) {
+        source = osds_[member].get();
+        break;
+      }
+    }
+    for (std::uint32_t member : acting) {
+      osds_[member]->set_pg_acting(pg, acting);
+      const bool newcomer = std::find(old_acting[pg].begin(), old_acting[pg].end(), member) ==
+                            old_acting[pg].end();
+      if (newcomer && source != nullptr) {
+        migrated += co_await source->push_pg(pg, *osds_[member]);
+      }
+    }
+    // Survivors that are no longer in the acting set keep stale data; a real
+    // cluster trims it lazily, which we skip.
+  }
+  co_return migrated;
+}
+
+sim::CoTask<std::uint64_t> ClusterSim::decommission_osd(std::uint32_t osd_id) {
+  std::vector<std::vector<std::uint32_t>> old_acting(cfg_.pg_num);
+  for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
+  cmap_.crush().set_up(osd_id, false);
+  cmap_.bump_epoch();
+  co_return co_await rebalance(old_acting);
+}
+
+sim::CoTask<std::uint64_t> ClusterSim::add_node() {
+  std::vector<std::vector<std::uint32_t>> old_acting(cfg_.pg_num);
+  for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
+
+  const unsigned node_index = unsigned(osd_nodes_.size());
+  osd_nodes_.push_back(std::make_unique<net::Node>(
+      sim_, "node." + std::to_string(node_index),
+      net::Node::Config{cfg_.node_cores, 1250 * kMiB}));
+  nvrams_.push_back(std::make_unique<dev::NvramModel>(
+      sim_, "nvram." + std::to_string(node_index), cfg_.nvram));
+
+  const osd::ThrottleSet::Config throttle_cfg = cfg_.profile.ssd_throttles
+                                                    ? osd::ThrottleSet::Config::ssd_tuned()
+                                                    : osd::ThrottleSet::Config::community();
+  net::Connection::Config cluster_net = cfg_.net;
+  cluster_net.nagle = false;
+  net::Connection::Config client_net = cfg_.net;
+  client_net.nagle = !cfg_.profile.disable_nagle;
+
+  const std::size_t first_new = osds_.size();
+  for (unsigned k = 0; k < cfg_.osds_per_node; k++) {
+    const std::uint32_t id = std::uint32_t(osds_.size());
+    cmap_.crush().add_osd(id, node_index);
+    dev::SsdModel::Config ssd_cfg = cfg_.ssd;
+    ssd_cfg.sustained = cfg_.sustained;
+    ssd_cfg.drives = k < 2 ? 3 : 2;
+    ssds_.push_back(std::make_unique<dev::SsdModel>(sim_, "ssd." + std::to_string(id), ssd_cfg));
+    osds_.push_back(std::make_unique<osd::Osd>(
+        sim_, *osd_nodes_[node_index], *nvrams_[node_index], *ssds_[id], cmap_, id, cfg_.osd,
+        cfg_.profile, cfg_.fs, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
+  }
+  // Wire the new OSDs to everyone (existing OSDs and all VMs).
+  for (std::size_t n = first_new; n < osds_.size(); n++) {
+    for (std::size_t o = 0; o < osds_.size(); o++) {
+      if (o == n) continue;
+      net::Connection* conn = osds_[n]->messenger().connect(osds_[o]->messenger(), cluster_net);
+      osds_[n]->add_peer(std::uint32_t(o), conn);
+      osds_[o]->add_peer(std::uint32_t(n), conn->reverse());
+    }
+    for (auto& vm : vms_) {
+      net::Connection* conn = vm->messenger().connect(osds_[n]->messenger(), client_net);
+      vm->add_osd_conn(std::uint32_t(n), conn);
+    }
+  }
+  cmap_.bump_epoch();
+  co_return co_await rebalance(old_acting);
+}
+
+sim::CoTask<ClusterSim::ScrubReport> ClusterSim::deep_scrub(bool repair) {
+  ScrubReport report;
+  for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    if (acting.empty()) continue;
+    osd::Osd& primary = *osds_[acting[0]];
+    // Union of object names across the acting set (a replica could hold an
+    // object the primary somehow lost).
+    std::set<fs::ObjectId> names;
+    bool any = false;
+    for (auto member : acting) {
+      for (auto& oid : osds_[member]->store().objects_in_pg(pg)) {
+        names.insert(std::move(oid));
+        any = true;
+      }
+    }
+    if (!any) continue;
+    report.pgs_scrubbed++;
+    for (const auto& oid : names) {
+      report.objects_scrubbed++;
+      // Deep scrub reads every replica's bytes (charged) and compares
+      // fingerprints.
+      const std::uint64_t want = primary.store().object_fingerprint(oid);
+      bool bad = false;
+      for (auto member : acting) {
+        auto& store = osds_[member]->store();
+        const std::uint64_t size = store.object_size(oid);
+        if (!store.object_in_memory(oid)) {
+          report.missing++;
+          bad = true;
+          continue;
+        }
+        co_await store.read(oid, 0, size, /*want_data=*/false);
+        if (store.object_fingerprint(oid) != want) {
+          report.inconsistent++;
+          bad = true;
+        }
+      }
+      if (bad && repair) {
+        // Re-push the primary's copy to every replica (Ceph repairs from
+        // the authoritative copy — here, the primary).
+        for (auto member : acting) {
+          if (member == acting[0]) continue;
+          co_await osds_[member]->recover_object(oid, primary.store().export_object(oid));
+          report.repaired++;
+        }
+      }
+    }
+  }
+  co_return report;
+}
+
+void ClusterSim::close_all() {
+  for (auto& o : osds_) o->close();
+  for (auto& vm : vms_) vm->messenger().close_all();
+}
+
+}  // namespace afc::core

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "client/runner.h"
+#include "core/profile.h"
+#include "device/nvram.h"
+#include "device/ssd.h"
+#include "osd/osd.h"
+
+namespace afc::core {
+
+/// Full-cluster configuration, defaulted to the paper's testbed (§4.1,
+/// Fig. 8): 4 OSD nodes x 4 OSD daemons (10 SSDs per node RAID-0'd 3/3/2/2
+/// behind the OSDs, one 8 GB NVRAM journal device per node), 5 client nodes
+/// hosting up to 16 VMs each, 10 GbE, replication 2.
+struct ClusterConfig {
+  unsigned osd_nodes = 4;
+  unsigned osds_per_node = 4;
+  unsigned client_nodes = 5;
+  unsigned vms = 16;
+  unsigned node_cores = 12;
+  unsigned client_node_cores = 16;
+  std::uint32_t pg_num = 1024;  // power of two
+  unsigned replication = 2;
+  /// Sustained state: SSDs saturated (GC active), cluster 80% full (objects
+  /// pre-exist), caches cold relative to the working set. Clean state:
+  /// fresh SSDs and small images.
+  bool sustained = true;
+  /// Objects pre-exist (cluster pre-filled) independent of device wear:
+  /// -1 = follow `sustained`; 0/1 force. Read benchmarks on clean devices
+  /// need this so there is data to read.
+  int populated = -1;
+  /// Client-side CPU per I/O (fio + KRBD + client messenger dispatch),
+  /// charged to the fixed pool of client nodes.
+  Time client_op_cpu = 82 * kMicrosecond;
+  std::uint64_t image_size = 20 * kGiB;  // per VM block device
+  std::uint64_t seed = 42;
+
+  Profile profile;
+  osd::OsdConfig osd;
+  dev::SsdModel::Config ssd;
+  dev::NvramModel::Config nvram;
+  fs::FileStore::Config fs;
+  kv::Db::Config kv;
+  fs::Journal::Config journal;
+  net::Connection::Config net;
+  osd::DebugLog::Config log;
+};
+
+/// Everything a bench harness reports about one run.
+struct RunResult {
+  double write_iops = 0.0;
+  double read_iops = 0.0;
+  double write_lat_ms = 0.0;  // mean
+  double read_lat_ms = 0.0;
+  double write_p99_ms = 0.0;
+  double read_p99_ms = 0.0;
+  /// Coefficient of variation of per-interval IOPS over the measurement
+  /// window — the paper's "fluctuation".
+  double write_cov = 0.0;
+  double read_cov = 0.0;
+  Histogram write_lat;
+  Histogram read_lat;
+  TimeSeries write_series;
+  TimeSeries read_series;
+  std::uint64_t verify_failures = 0;
+
+  // Aggregated internal evidence for the paper's four causes.
+  Time pg_lock_wait_ns = 0;
+  std::uint64_t pg_lock_contended = 0;
+  std::uint64_t pending_defers = 0;
+  std::uint64_t journal_full_stalls = 0;
+  Time journal_full_ns = 0;
+  std::uint64_t fs_writeback_stalls = 0;
+  std::uint64_t log_entries_dropped = 0;
+  std::uint64_t metadata_device_reads = 0;
+  std::uint64_t syscalls = 0;
+  double kv_write_amplification = 0.0;
+  double max_osd_node_cpu = 0.0;
+  std::uint64_t kv_stall_slowdowns = 0;
+  /// Mean per-stage write-path latency (Fig. 3), ms, index = osd::Stage.
+  std::array<double, osd::kStageCount> stage_ms{};
+  double write_path_total_ms = 0.0;
+};
+
+/// Builds a simulated Ceph cluster (community or AFCeph per the profile)
+/// and runs one fio-style workload against it. This is the top-level public
+/// API used by all benches and examples.
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterConfig cfg);
+  ~ClusterSim();
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  /// Run one workload to completion (single use per ClusterSim).
+  RunResult run(const client::WorkloadSpec& spec);
+
+  // --- component access (tests, examples, custom drivers) --------------
+  sim::Simulation& simulation() { return sim_; }
+  cluster::ClusterMap& map() { return cmap_; }
+  std::size_t osd_count() const { return osds_.size(); }
+  osd::Osd& osd(std::size_t i) { return *osds_[i]; }
+  std::size_t vm_count() const { return vms_.size(); }
+  client::VmClient& vm(std::size_t i) { return *vms_[i]; }
+  net::Node& osd_node(std::size_t i) { return *osd_nodes_[i]; }
+  dev::SsdModel& osd_ssd(std::size_t i) { return *ssds_[i]; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  // --- elasticity & failure handling -------------------------------------
+  /// Take an OSD out of the CRUSH map (failure / decommission), recompute
+  /// placement, and re-replicate the affected PGs from surviving members.
+  /// Quiesce client traffic first. Returns the number of objects pushed.
+  sim::CoTask<std::uint64_t> decommission_osd(std::uint32_t osd_id);
+
+  /// Add one server node with the standard OSD complement, wire it into the
+  /// cluster and the clients, and rebalance PGs onto it (paper Fig. 12's
+  /// expansion, live). Returns the number of objects migrated.
+  sim::CoTask<std::uint64_t> add_node();
+
+  /// Scrub: cross-check every object's content fingerprint across its
+  /// acting set (Ceph's deep scrub); optionally repair inconsistent or
+  /// missing replicas from the primary's copy. Quiesce traffic first.
+  struct ScrubReport {
+    std::uint64_t pgs_scrubbed = 0;
+    std::uint64_t objects_scrubbed = 0;
+    std::uint64_t inconsistent = 0;
+    std::uint64_t missing = 0;
+    std::uint64_t repaired = 0;
+  };
+  sim::CoTask<ScrubReport> deep_scrub(bool repair);
+
+  /// Close all OSD queues (worker coroutines drain and exit).
+  void close_all();
+
+  /// Collect OSD-side aggregates into `r` (also done by run()).
+  void collect_osd_stats(RunResult& r) const;
+
+ private:
+  /// Recompute acting sets against `old_acting` and backfill newcomers.
+  sim::CoTask<std::uint64_t> rebalance(
+      const std::vector<std::vector<std::uint32_t>>& old_acting);
+
+  ClusterConfig cfg_;
+  sim::Simulation sim_;
+  cluster::ClusterMap cmap_;
+  std::vector<std::unique_ptr<net::Node>> osd_nodes_;
+  std::vector<std::unique_ptr<net::Node>> client_nodes_;
+  std::vector<std::unique_ptr<dev::NvramModel>> nvrams_;
+  std::vector<std::unique_ptr<dev::SsdModel>> ssds_;
+  std::vector<std::unique_ptr<osd::Osd>> osds_;
+  std::vector<std::unique_ptr<client::VmClient>> vms_;
+  bool ran_ = false;
+};
+
+}  // namespace afc::core

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace afc::core {
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::string health_report(ClusterSim& cluster) {
+  std::string out;
+  append(out, "=== cluster health @ t=%.3fs (%s, %zu OSDs, %zu VMs) ===\n",
+         to_s(cluster.simulation().now()), cluster.config().profile.name.c_str(),
+         cluster.osd_count(), cluster.vm_count());
+
+  for (std::size_t n = 0; n < cluster.config().osd_nodes && n * cluster.config().osds_per_node <
+                                                                cluster.osd_count();
+       n++) {
+    auto& node = cluster.osd_node(n);
+    append(out, "node.%zu  cpu %5.1f%%  nic %5.1f%%  tx %.1f MiB\n", n,
+           node.cpu().utilization() * 100.0, node.nic_utilization() * 100.0,
+           double(node.tx_bytes()) / double(kMiB));
+  }
+
+  for (std::size_t i = 0; i < cluster.osd_count(); i++) {
+    auto& o = cluster.osd(i);
+    auto& ssd = cluster.osd_ssd(i);
+    auto& db = o.omap_db();
+    append(out, "osd.%-2zu dev %4.0f%%/bus %4.0f%% rlat %6.0fus wlat %6.0fus gc %llu\n", i,
+           ssd.utilization() * 100.0, ssd.bus_utilization() * 100.0,
+           ssd.read_latency().mean() / 1000.0, ssd.write_latency().mean() / 1000.0,
+           (unsigned long long)ssd.gc_stalls());
+    append(out,
+           "       ops w=%llu r=%llu rep=%llu | pglock wait %.1fms cont %llu | defers %llu\n",
+           (unsigned long long)o.client_writes(), (unsigned long long)o.client_reads(),
+           (unsigned long long)o.replica_ops(), to_ms(o.pg_lock_wait_ns()),
+           (unsigned long long)o.pg_lock_contended(), (unsigned long long)o.pending_defers());
+    append(out,
+           "       journal: %llu entries, batch x%.1f, in-use %.1f MiB, full-stall %.1fms\n",
+           (unsigned long long)o.journal().entries_written(), o.journal().average_batch(),
+           double(o.journal().bytes_in_use()) / double(kMiB), to_ms(o.journal().full_stall_ns()));
+    append(out,
+           "       throttles: msgs %llu/%llu  fs_ops %llu/%llu (wait %.1fms)\n",
+           (unsigned long long)o.throttles().messages.in_use(),
+           (unsigned long long)o.throttles().messages.capacity(),
+           (unsigned long long)o.throttles().filestore_ops.in_use(),
+           (unsigned long long)o.throttles().filestore_ops.capacity(),
+           to_ms(o.throttles().filestore_ops.total_wait_ns()));
+    append(out,
+           "       filestore: %llu applies, %llu syscalls, %llu metaRd, dirty %.1f MiB, "
+           "wb-stalls %llu\n",
+           (unsigned long long)o.store().applies(), (unsigned long long)o.store().syscalls(),
+           (unsigned long long)o.store().metadata_device_reads(),
+           double(o.store().dirty_bytes()) / double(kMiB),
+           (unsigned long long)o.store().writeback_stalls());
+    append(out,
+           "       kv: %zu tables (L0=%d), WA %.2f, flushes %llu, compactions %llu, "
+           "slowdowns %llu | cache h/m %llu/%llu\n",
+           db.table_count(), db.l0_files(), db.write_amplification(),
+           (unsigned long long)db.flushes(), (unsigned long long)db.compactions(),
+           (unsigned long long)db.stall_slowdowns(),
+           (unsigned long long)db.block_cache_hits(), (unsigned long long)db.block_cache_misses());
+    append(out, "       dout: emitted %llu written %llu dropped %llu | meta-cache h/m %llu/%llu\n",
+           (unsigned long long)o.dlog().emitted(), (unsigned long long)o.dlog().written(),
+           (unsigned long long)o.dlog().dropped(), (unsigned long long)o.meta_cache().hits(),
+           (unsigned long long)o.meta_cache().misses());
+  }
+  return out;
+}
+
+std::string health_summary(ClusterSim& cluster) {
+  std::string out;
+  for (std::size_t i = 0; i < cluster.osd_count(); i++) {
+    auto& o = cluster.osd(i);
+    append(out, "osd.%-2zu dev %3.0f%% lockwait %7.1fms defers %6llu metaRd %6llu jfull %5.0fms\n",
+           i, cluster.osd_ssd(i).utilization() * 100.0, to_ms(o.pg_lock_wait_ns()),
+           (unsigned long long)o.pending_defers(),
+           (unsigned long long)o.store().metadata_device_reads(),
+           to_ms(o.journal().full_stall_ns()));
+  }
+  return out;
+}
+
+}  // namespace afc::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "core/cluster_sim.h"
+
+namespace afc::core {
+
+/// Renders an operator-style health report of the whole simulated cluster:
+/// per-OSD device utilization and latencies, queue/throttle states, journal
+/// fill, KV store shape (levels, write amplification, stalls), cache hit
+/// rates, logging drops, PG-lock contention, messenger load — the "ceph
+/// daemon perf dump" of this repo. Used by the calibrate tool and examples;
+/// handy when a workload behaves unexpectedly.
+std::string health_report(ClusterSim& cluster);
+
+/// One-line-per-OSD condensed variant.
+std::string health_summary(ClusterSim& cluster);
+
+}  // namespace afc::core

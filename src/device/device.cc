@@ -1,0 +1,85 @@
+#include "device/device.h"
+
+namespace afc::dev {
+
+Device::Device(sim::Simulation& sim, std::string name, unsigned channels)
+    : sim_(sim), name_(std::move(name)), channels_(channels), free_channels_(channels) {}
+
+void Device::start(Submit* s) {
+  if (s->type_ == IoType::kRead) {
+    inflight_reads_++;
+  } else {
+    inflight_writes_++;
+  }
+  const Time lat = latency_time(s->type_, s->off_, s->len_);
+  if (lat == 0) {
+    bus_enqueue(s);
+  } else {
+    sim_.schedule_after(lat, [this, s] { bus_enqueue(s); });
+  }
+}
+
+void Device::bus_enqueue(Submit* s) {
+  if (bus_busy_) {
+    bus_queue_.push_back(s);
+  } else {
+    bus_busy_ = true;
+    bus_start(s);
+  }
+}
+
+void Device::bus_start(Submit* s) {
+  const Time xfer = transfer_time(s->type_, s->len_);
+  bus_busy_ns_ += xfer;
+  sim_.schedule_after(xfer, [this, s] {
+    if (!bus_queue_.empty()) {
+      Submit* next = bus_queue_.front();
+      bus_queue_.pop_front();
+      bus_start(next);
+    } else {
+      bus_busy_ = false;
+    }
+    finish(s);
+  });
+}
+
+void Device::finish(Submit* s) {
+  busy_ns_ += sim_.now() - s->t0_;  // approximates channel-held time
+  if (s->type_ == IoType::kRead) {
+    inflight_reads_--;
+    reads_++;
+    bytes_read_ += s->len_;
+    read_lat_.record(sim_.now() - s->t0_);
+  } else {
+    inflight_writes_--;
+    writes_++;
+    bytes_written_ += s->len_;
+    write_lat_.record(sim_.now() - s->t0_);
+  }
+  const auto h = s->handle_;
+  // Hand the freed channel to the next queued I/O before resuming the
+  // completed one (FIFO service).
+  if (!queue_.empty()) {
+    Submit* next = queue_.front();
+    queue_.pop_front();
+    start(next);
+  } else {
+    free_channels_++;
+  }
+  h.resume();
+}
+
+double Device::utilization() const {
+  const Time elapsed = sim_.now();
+  if (elapsed == 0) return 0.0;
+  const double u = double(busy_ns_) / (double(elapsed) * double(channels_));
+  return u > 1.0 ? 1.0 : u;
+}
+
+double Device::bus_utilization() const {
+  const Time elapsed = sim_.now();
+  if (elapsed == 0) return 0.0;
+  return double(bus_busy_ns_) / double(elapsed);
+}
+
+}  // namespace afc::dev

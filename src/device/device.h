@@ -1,0 +1,125 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace afc::dev {
+
+enum class IoType { kRead, kWrite, kFlush };
+
+/// Base class for simulated block devices, modelled as two coupled
+/// resources:
+///
+///  * `channels` — per-command concurrency (NCQ slots / flash planes):
+///    an I/O occupies one channel from admission to completion, which is
+///    what gives small random I/O its parallelism and its queueing delay;
+///  * the transfer *bus* — one shared server running at the device's
+///    aggregate bandwidth: transfers serialize on it, so N concurrent
+///    streams sum to the aggregate rate while a single large transfer
+///    still gets the full rate (RAID-0 striping).
+///
+/// Subclasses provide the per-op `latency_time()` (seek/flash program/GC/
+/// mixed-pattern penalties) and `transfer_time()` (len / aggregate bw).
+/// submit() is a frame-free custom awaiter — devices complete millions of
+/// I/Os per simulated run.
+class Device {
+ public:
+  Device(sim::Simulation& sim, std::string name, unsigned channels);
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  class Submit {
+   public:
+    Submit(Device& d, IoType t, std::uint64_t off, std::uint64_t len)
+        : d_(d), type_(t), off_(off), len_(len) {}
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      t0_ = d_.sim_.now();
+      if (d_.free_channels_ > 0) {
+        d_.free_channels_--;
+        d_.start(this);
+      } else {
+        d_.queue_.push_back(this);
+      }
+    }
+    void await_resume() const {}
+
+   private:
+    friend class Device;
+    Device& d_;
+    IoType type_;
+    std::uint64_t off_;
+    std::uint64_t len_;
+    Time t0_ = 0;
+    std::coroutine_handle<> handle_;
+  };
+
+  /// Perform one I/O: resumes when the I/O is durable (write) or data is
+  /// available (read). Latency includes channel queueing, the model
+  /// latency, bus queueing and the transfer itself.
+  Submit submit(IoType type, std::uint64_t offset, std::uint64_t len) {
+    return Submit(*this, type, offset, len);
+  }
+
+  const std::string& name() const { return name_; }
+  unsigned channels() const { return channels_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  unsigned inflight_reads() const { return inflight_reads_; }
+  unsigned inflight_writes() const { return inflight_writes_; }
+  std::size_t queued() const { return queue_.size(); }
+
+  const Histogram& read_latency() const { return read_lat_; }
+  const Histogram& write_latency() const { return write_lat_; }
+
+  /// Channel-held time / (elapsed * channels): how busy the device is.
+  double utilization() const;
+  /// Transfer-bus busy fraction (bandwidth saturation).
+  double bus_utilization() const;
+
+ protected:
+  /// Positioning / program latency for one I/O once a channel is granted
+  /// (in-flight counters include this I/O).
+  virtual Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len) = 0;
+  /// Wire time at full aggregate bandwidth.
+  virtual Time transfer_time(IoType type, std::uint64_t len) = 0;
+
+  sim::Simulation& sim_;
+
+ private:
+  friend class Submit;
+  void start(Submit* s);
+  void bus_enqueue(Submit* s);
+  void bus_start(Submit* s);
+  void finish(Submit* s);
+
+  std::string name_;
+  unsigned channels_;
+  unsigned free_channels_;
+  std::deque<Submit*> queue_;      // waiting for a channel
+  bool bus_busy_ = false;
+  std::deque<Submit*> bus_queue_;  // waiting for the transfer bus
+  unsigned inflight_reads_ = 0;
+  unsigned inflight_writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  Time busy_ns_ = 0;      // channel-held time
+  Time bus_busy_ns_ = 0;  // transfer time
+  Histogram read_lat_;
+  Histogram write_lat_;
+};
+
+}  // namespace afc::dev

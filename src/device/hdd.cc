@@ -1,0 +1,5 @@
+#include "device/hdd.h"
+
+// HddModel is header-only; this TU anchors nothing but keeps the build list
+// uniform (one .cc per module).
+namespace afc::dev {}

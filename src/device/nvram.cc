@@ -1,0 +1,4 @@
+#include "device/nvram.h"
+
+// NvramModel is header-only; this TU anchors the vtable.
+namespace afc::dev {}

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "device/device.h"
+
+namespace afc::dev {
+
+/// PCIe NVRAM card model (the paper's PMC 8 GB journal device): microsecond
+/// latency, deep parallelism, no wear state. The paper notes the journal
+/// throttle "has no impact because writing journal (NVRAM) is very fast" —
+/// which holds here because service times are ~10x below the SSD's.
+class NvramModel : public Device {
+ public:
+  struct Config {
+    unsigned channels = 2;  // concurrent DMA queues, each at bandwidth/2
+    Time write_latency = 9 * kMicrosecond;
+    Time read_latency = 7 * kMicrosecond;
+    std::uint64_t bandwidth = 900 * kMiB;  // bytes/sec, aggregate
+  };
+
+  NvramModel(sim::Simulation& sim, std::string name, const Config& cfg)
+      : Device(sim, std::move(name), cfg.channels), cfg_(cfg) {}
+  NvramModel(sim::Simulation& sim, std::string name)
+      : NvramModel(sim, std::move(name), Config{}) {}
+
+ protected:
+  Time latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t /*len*/) override {
+    return type == IoType::kRead ? cfg_.read_latency : cfg_.write_latency;
+  }
+  Time transfer_time(IoType /*type*/, std::uint64_t len) override {
+    return Time(double(len) / double(cfg_.bandwidth) * double(kSecond));
+  }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace afc::dev

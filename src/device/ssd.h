@@ -1,0 +1,66 @@
+#pragma once
+
+#include "device/device.h"
+
+namespace afc::dev {
+
+/// SATA-class flash SSD model (optionally a RAID-0 set of several drives,
+/// which is how the paper ties 2-3 SSDs behind each OSD).
+///
+/// Captured flash behaviours, each of which the paper's analysis leans on:
+///  * internal parallelism: per-drive channels; service times independent
+///    per channel, so IOPS scales with queue depth until channels saturate;
+///  * clean vs. sustained state: once the drive has been written over, every
+///    write pays garbage-collection overhead (`sustained_write_factor`) and
+///    periodic erase stalls (`gc_pause` every `gc_interval_bytes`);
+///  * mixed-pattern interference (FIOS, FAST'12 [15]): a read issued while
+///    writes are in flight is delayed behind program operations
+///    (`mixed_read_penalty`), the effect the light-weight transaction
+///    optimization removes by keeping metadata reads off the write path;
+///  * transfer-size dependence: service = fixed op cost + bytes/bandwidth.
+class SsdModel : public Device {
+ public:
+  struct Config {
+    unsigned drives = 1;              // RAID-0 width
+    unsigned channels_per_drive = 4;  // internal parallelism per drive
+    Time read_latency = 90 * kMicrosecond;
+    Time write_latency = 80 * kMicrosecond;
+    std::uint64_t read_bw_per_drive = 500 * kMiB;   // bytes/sec
+    std::uint64_t write_bw_per_drive = 330 * kMiB;  // bytes/sec
+    double sustained_write_factor = 6.0;      // small/random writes under GC
+    double sustained_seq_factor = 2.0;        // large/streaming writes under GC
+    std::uint64_t seq_threshold = 256 * 1024;  // transfer size split
+    Time gc_pause = 1500 * kMicrosecond;
+    std::uint64_t gc_interval_bytes = 24 * kMiB;  // per drive, sustained only
+    Time mixed_read_penalty = 180 * kMicrosecond;
+    Time mixed_write_penalty = 30 * kMicrosecond;
+    bool sustained = false;
+    /// A clean drive flips to sustained after this many bytes are written
+    /// (the FTL's pre-erased pool runs out and GC starts). 0 = never (the
+    /// run stays in its initial state).
+    std::uint64_t clean_budget_bytes = 0;
+  };
+
+  SsdModel(sim::Simulation& sim, std::string name, const Config& cfg);
+
+  void set_sustained(bool s) { sustained_ = s; }
+  bool sustained() const { return sustained_; }
+  std::uint64_t gc_stalls() const { return gc_stalls_; }
+  /// Virtual time at which the clean->sustained transition happened (0 if
+  /// it has not).
+  Time sustained_since() const { return sustained_since_; }
+
+ protected:
+  Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len) override;
+  Time transfer_time(IoType type, std::uint64_t len) override;
+
+ private:
+  Config cfg_;
+  bool sustained_;
+  std::uint64_t bytes_since_gc_ = 0;
+  std::uint64_t gc_stalls_ = 0;
+  std::uint64_t clean_written_ = 0;
+  Time sustained_since_ = 0;
+};
+
+}  // namespace afc::dev

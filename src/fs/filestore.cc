@@ -1,0 +1,332 @@
+#include "fs/filestore.h"
+
+#include <algorithm>
+
+namespace afc::fs {
+
+FileStore::FileStore(sim::Simulation& sim, sim::CpuPool& cpu, dev::Device& data_dev,
+                     kv::Db& omap, const Config& cfg, Counters* counters)
+    : sim_(sim),
+      cpu_(cpu),
+      dev_(data_dev),
+      omap_(omap),
+      cfg_(cfg),
+      counters_(counters),
+      cache_(cfg.page_cache_pages),
+      dirty_sem_(sim, cfg.writeback_limit_bytes),
+      wb_parallel_(sim, cfg.writeback_parallelism),
+      wb_cv_(sim),
+      wb_idle_cv_(sim) {
+  sim::spawn(writeback_loop());
+}
+
+sim::CoTask<void> FileStore::buffer_write(std::uint64_t bytes) {
+  if (bytes == 0) co_return;
+  co_await dirty_sem_.acquire(bytes);
+  wb_queue_.push_back(bytes);
+  wb_cv_.notify_one();
+}
+
+sim::CoTask<void> FileStore::writeback_loop() {
+  // Dispatcher: issues dirty extents to the device with bounded parallelism
+  // (models the kernel flusher threads + request queue depth).
+  for (;;) {
+    while (wb_queue_.empty() && !closing_) co_await wb_cv_.wait();
+    if (closing_ && wb_queue_.empty()) break;
+    const std::uint64_t bytes = wb_queue_.front();
+    wb_queue_.pop_front();
+    co_await wb_parallel_.acquire(1);
+    wb_inflight_++;
+    const std::uint64_t pos = wb_pos_;
+    wb_pos_ += bytes;
+    sim::spawn_fn([this, bytes, pos]() -> sim::CoTask<void> {
+      co_await dev_.submit(dev::IoType::kWrite, pos, bytes);
+      dirty_sem_.release(bytes);
+      wb_parallel_.release(1);
+      wb_inflight_--;
+      if (wb_inflight_ == 0 && wb_queue_.empty()) wb_idle_cv_.notify_all();
+    });
+  }
+  wb_idle_cv_.notify_all();
+}
+
+void FileStore::close() {
+  closing_ = true;
+  wb_cv_.notify_all();
+}
+
+sim::CoTask<void> FileStore::drain() {
+  while (!wb_queue_.empty() || wb_inflight_ > 0) co_await wb_idle_cv_.wait();
+}
+
+std::uint64_t FileStore::object_hash(const ObjectId& oid) {
+  return ObjectIdHash{}(oid) | 1;  // never 0 (0 reserved)
+}
+
+std::uint64_t FileStore::populated_seed(const ObjectId& oid) {
+  return object_hash(oid) ^ 0xfeedfacecafebeefull;
+}
+
+bool FileStore::implicitly_exists(const ObjectId& oid) const {
+  return cfg_.assume_populated && objects_.find(oid) == objects_.end();
+}
+
+const FileStore::Object* FileStore::find_object(const ObjectId& oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+FileStore::Object& FileStore::materialize_object(const ObjectId& oid) {
+  auto it = objects_.find(oid);
+  if (it != objects_.end()) return it->second;
+  Object obj;
+  if (cfg_.assume_populated) {
+    // The cluster is pre-filled: this object already holds data and
+    // metadata from before the measurement window.
+    obj.size = cfg_.populated_object_size;
+    obj.extents.emplace(
+        0, Extent{Payload::pattern(cfg_.populated_object_size, populated_seed(oid))});
+    obj.xattrs.emplace("_", kv::Value::virt(std::uint32_t(cfg_.populated_xattr_bytes)));
+    obj.xattrs.emplace("snapset", kv::Value::virt(31));
+  }
+  return objects_.emplace(oid, std::move(obj)).first->second;
+}
+
+sim::CoTask<void> FileStore::charge_syscalls(unsigned n) {
+  syscalls_ += n;
+  if (counters_ != nullptr) counters_->add("fs.syscalls", n);
+  co_await cpu_.consume(Time(double(cfg_.syscall_cpu) * n * cfg_.cpu_multiplier));
+}
+
+void FileStore::write_extent(Object& obj, std::uint64_t off, Payload data) {
+  const std::uint64_t end = off + data.size();
+  if (data.size() == 0) return;
+  // Remove / trim extents overlapping [off, end).
+  auto it = obj.extents.lower_bound(off);
+  if (it != obj.extents.begin()) {
+    auto prev = std::prev(it);
+    const std::uint64_t pstart = prev->first;
+    const std::uint64_t pend = pstart + prev->second.data.size();
+    if (pend > off) {
+      // Previous extent overlaps from the left: keep its head, and if it
+      // extends past our end, keep its tail too.
+      Extent tail{};
+      const bool has_tail = pend > end;
+      if (has_tail) tail.data = prev->second.data.slice(end - pstart, pend - end);
+      prev->second.data = prev->second.data.slice(0, off - pstart);
+      if (prev->second.data.size() == 0) obj.extents.erase(prev);
+      if (has_tail) obj.extents.emplace(end, std::move(tail));
+    }
+  }
+  it = obj.extents.lower_bound(off);
+  while (it != obj.extents.end() && it->first < end) {
+    const std::uint64_t estart = it->first;
+    const std::uint64_t eend = estart + it->second.data.size();
+    if (eend <= end) {
+      it = obj.extents.erase(it);
+    } else {
+      Extent tail{it->second.data.slice(end - estart, eend - end)};
+      obj.extents.erase(it);
+      obj.extents.emplace(end, std::move(tail));
+      break;
+    }
+  }
+  obj.extents.emplace(off, Extent{std::move(data)});
+  if (end > obj.size) obj.size = end;
+}
+
+sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool lightweight) {
+  applies_++;
+  co_await cpu_.consume(Time(double(cfg_.apply_cpu) * cfg_.cpu_multiplier));
+  co_await charge_syscalls(lightweight ? cfg_.syscalls_per_txn_light
+                                       : cfg_.syscalls_per_txn_community);
+  kv::WriteBatch batch;  // light path accumulates all KV work into one batch
+  for (const auto& op : tx.ops()) {
+    co_await charge_syscalls(lightweight ? cfg_.syscalls_per_op_light
+                                         : cfg_.syscalls_per_op_community);
+    switch (op.type) {
+      case TxOpType::kWrite: {
+        Object& obj = materialize_object(op.oid);
+        const std::uint64_t len = op.data.size();
+        cache_.insert_range(object_hash(op.oid), op.offset, len);
+        write_extent(obj, op.offset, op.data);
+        data_bytes_written_ += len;
+        if (lightweight) {
+          co_await buffer_write(len);  // buffered; writeback hits the device
+        } else {
+          // Community filestore: WBThrottle keeps dirty data tightly bounded
+          // (fdatasync pressure so journal trim latency stays sane), which
+          // on a sustained SSD makes each apply pay a near-synchronous
+          // random write — data plus the filesystem-journal/inode commit the
+          // fdatasync drags in.
+          co_await dev_.submit(dev::IoType::kWrite, op.offset,
+                               len + cfg_.fdatasync_overhead_bytes);
+        }
+        break;
+      }
+      case TxOpType::kOmapSetKeys: {
+        if (lightweight) {
+          for (const auto& [k, v] : op.omap) batch.put(k, v);
+        } else {
+          for (const auto& [k, v] : op.omap) co_await omap_.put(k, v);
+        }
+        break;
+      }
+      case TxOpType::kOmapRmKeyRange: {
+        auto keys = co_await omap_.range_keys(op.range_lo, op.range_hi, 4096);
+        if (lightweight) {
+          for (auto& k : keys) batch.del(std::move(k));
+        } else {
+          for (auto& k : keys) co_await omap_.del(std::move(k));
+        }
+        break;
+      }
+      case TxOpType::kSetAttrs: {
+        Object& obj = materialize_object(op.oid);
+        for (const auto& [k, v] : op.attrs) obj.xattrs[k] = v;
+        cache_.insert(object_hash(op.oid), kMetaPage);
+        // xattrs land in the inode and ride the data write's fdatasync; no
+        // separate device op in either mode (syscall CPU already charged).
+        break;
+      }
+      case TxOpType::kSetAllocHint: {
+        co_await cpu_.consume(Time(double(cfg_.alloc_hint_cpu) * cfg_.cpu_multiplier));
+        syscalls_++;
+        break;
+      }
+    }
+  }
+  if (batch.size() > 0) co_await omap_.write(std::move(batch));
+}
+
+sim::CoTask<FileStore::ReadResult> FileStore::read(const ObjectId& oid, std::uint64_t off,
+                                                   std::uint64_t len, bool want_data) {
+  ReadResult result;
+  co_await charge_syscalls(1);
+  const Object* obj = find_object(oid);
+  const bool implicit = obj == nullptr && cfg_.assume_populated;
+  if (obj == nullptr && !implicit) co_return result;
+
+  const std::uint64_t obj_size = implicit ? cfg_.populated_object_size : obj->size;
+  if (off >= obj_size) {
+    result.found = true;
+    result.length = 0;
+    if (want_data) result.data.emplace();
+    co_return result;
+  }
+  const std::uint64_t n = std::min(len, obj_size - off);
+
+  // Charge device reads for non-resident pages.
+  const std::uint64_t oh = object_hash(oid);
+  const std::uint64_t missing = cache_.missing_pages(oh, off, n);
+  if (missing > 0) {
+    co_await dev_.submit(dev::IoType::kRead, off, missing * PageCache::kPageSize);
+  }
+  cache_.insert_range(oh, off, n);
+
+  result.found = true;
+  result.length = n;
+  if (want_data) {
+    std::vector<std::uint8_t> out(n, 0);
+    if (implicit) {
+      auto bytes = Payload::pattern(n, populated_seed(oid), off).materialize();
+      out = std::move(bytes);
+    } else {
+      for (const auto& [estart, ext] : obj->extents) {
+        const std::uint64_t eend = estart + ext.data.size();
+        if (eend <= off || estart >= off + n) continue;
+        const std::uint64_t from = std::max(estart, off);
+        const std::uint64_t to = std::min(eend, off + n);
+        auto piece = ext.data.slice(from - estart, to - from).materialize();
+        std::copy(piece.begin(), piece.end(), out.begin() + long(from - off));
+      }
+    }
+    result.data = std::move(out);
+  }
+  co_return result;
+}
+
+sim::CoTask<std::optional<kv::Value>> FileStore::getattr(const ObjectId& oid,
+                                                         const std::string& name) {
+  co_await charge_syscalls(1);
+  const std::uint64_t oh = object_hash(oid);
+  if (!cache_.lookup(oh, kMetaPage)) {
+    metadata_device_reads_++;
+    if (counters_ != nullptr) counters_->add("fs.metadata_reads");
+    co_await dev_.submit(dev::IoType::kRead, 0, 4096);
+    cache_.insert(oh, kMetaPage);
+  }
+  const Object* obj = find_object(oid);
+  if (obj == nullptr) {
+    if (cfg_.assume_populated) {
+      if (name == "_") co_return kv::Value::virt(std::uint32_t(cfg_.populated_xattr_bytes));
+      if (name == "snapset") co_return kv::Value::virt(31);
+    }
+    co_return std::nullopt;
+  }
+  auto it = obj->xattrs.find(name);
+  if (it == obj->xattrs.end()) co_return std::nullopt;
+  co_return it->second;
+}
+
+sim::CoTask<std::optional<std::uint64_t>> FileStore::stat(const ObjectId& oid) {
+  co_await charge_syscalls(1);
+  const std::uint64_t oh = object_hash(oid);
+  if (!cache_.lookup(oh, kMetaPage)) {
+    metadata_device_reads_++;
+    if (counters_ != nullptr) counters_->add("fs.metadata_reads");
+    co_await dev_.submit(dev::IoType::kRead, 0, 4096);
+    cache_.insert(oh, kMetaPage);
+  }
+  const Object* obj = find_object(oid);
+  if (obj != nullptr) co_return obj->size;
+  if (cfg_.assume_populated) co_return cfg_.populated_object_size;
+  co_return std::nullopt;
+}
+
+std::uint64_t FileStore::object_size(const ObjectId& oid) const {
+  const Object* obj = find_object(oid);
+  return obj != nullptr ? obj->size : 0;
+}
+
+std::vector<ObjectId> FileStore::objects_in_pg(std::uint32_t pg) const {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, obj] : objects_) {
+    if (oid.pg == pg) out.push_back(oid);
+  }
+  return out;
+}
+
+std::uint64_t FileStore::object_fingerprint(const ObjectId& oid) const {
+  const Object* obj = find_object(oid);
+  if (obj == nullptr) return 0;
+  std::uint64_t h = 0xcbf29ce484222325ull ^ obj->size;
+  for (const auto& [off, ext] : obj->extents) {
+    h ^= off + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= ext.data.fingerprint() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool FileStore::corrupt_object(const ObjectId& oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end() || it->second.extents.empty()) return false;
+  auto& ext = it->second.extents.begin()->second;
+  auto bytes = ext.data.materialize();
+  if (bytes.empty()) return false;
+  bytes[bytes.size() / 2] ^= 0x5a;
+  ext.data = Payload::bytes(std::move(bytes));
+  return true;
+}
+
+FileStore::ObjectExport FileStore::export_object(const ObjectId& oid) const {
+  ObjectExport out;
+  const Object* obj = find_object(oid);
+  if (obj == nullptr) return out;
+  out.size = obj->size;
+  for (const auto& [off, ext] : obj->extents) out.extents.emplace_back(off, ext.data);
+  for (const auto& [k, v] : obj->xattrs) out.xattrs.emplace_back(k, v);
+  return out;
+}
+
+}  // namespace afc::fs

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "fs/pagecache.h"
+#include "fs/transaction.h"
+#include "kv/db.h"
+#include "sim/cpu.h"
+
+namespace afc::fs {
+
+/// The OSD's local object store: objects are files on a local filesystem
+/// (extent map + xattrs here), PG log / omap live in the LSM KV store, and
+/// all of it shares one data SSD. Re-creates the behaviours the paper's
+/// §2.4/§3.4 analysis rests on:
+///  * every apply costs syscalls (CPU) — community Ceph repeats open/stat/
+///    write per op, AFCeph's light transactions collapse them;
+///  * metadata reads (getattr/stat) hit the page cache or pay a device
+///    read — and in sustained state those reads interleave with the write
+///    stream (the SSD model charges mixed-pattern penalties);
+///  * community omap updates are separate KV puts, light transactions use
+///    one WriteBatch;
+///  * `assume_populated` simulates an 80%-full cluster: unknown objects
+///    exist implicitly with 4 MiB of (virtual) data, so writes are
+///    overwrites that need metadata, without allocating per-object state up
+///    front.
+class FileStore {
+ public:
+  struct Config {
+    Time syscall_cpu = 1300;                 // ns per syscall
+    unsigned syscalls_per_op_community = 3;  // redundant open/stat/write...
+    unsigned syscalls_per_op_light = 1;
+    unsigned syscalls_per_txn_community = 2;  // per-txn metadata checks
+    unsigned syscalls_per_txn_light = 1;
+    Time alloc_hint_cpu = 2500;               // fallocate(FALLOC_FL_KEEP_SIZE)
+    Time apply_cpu = 3000;                    // per-txn bookkeeping
+    double cpu_multiplier = 1.0;              // allocator tax (tcmalloc ~1.6x)
+    std::size_t page_cache_pages = 65536;     // 256 MiB
+    bool assume_populated = false;
+    std::uint64_t populated_object_size = 4 * kMiB;
+    std::uint64_t populated_xattr_bytes = 250;
+    std::uint64_t xattr_device_bytes = 4096;  // inode/xattr writeback page
+    /// Extra bytes the community path's per-apply fdatasync drags to the
+    /// device (filesystem journal + inode block).
+    std::uint64_t fdatasync_overhead_bytes = 4096;
+    // Buffered-write model: applies dirty pages and return; a background
+    // writeback worker pushes dirty extents to the device with bounded
+    // parallelism. When dirty data exceeds the limit (vm.dirty_ratio), the
+    // apply path blocks — the filestore backlog of the paper's Fig. 4.
+    std::uint64_t writeback_limit_bytes = 48 * kMiB;
+    unsigned writeback_parallelism = 8;
+  };
+
+  /// Pseudo page index used to cache an object's inode/dentry/xattr block.
+  static constexpr std::uint64_t kMetaPage = ~std::uint64_t(0);
+
+  FileStore(sim::Simulation& sim, sim::CpuPool& cpu, dev::Device& data_dev, kv::Db& omap,
+            const Config& cfg, Counters* counters = nullptr);
+
+  /// Apply a journaled transaction to the backing store. `lightweight`
+  /// selects the AFCeph §3.4 path (merged syscalls, batched KV, no extra
+  /// xattr writeback I/O).
+  sim::CoTask<void> apply_transaction(const Transaction& tx, bool lightweight);
+
+  struct ReadResult {
+    bool found = false;
+    std::uint64_t length = 0;
+    std::optional<std::vector<std::uint8_t>> data;  // only if want_data
+  };
+  /// Read [off, off+len) of an object. `want_data=false` skips
+  /// materialization (benchmarks) but still charges the same I/O.
+  sim::CoTask<ReadResult> read(const ObjectId& oid, std::uint64_t off, std::uint64_t len,
+                               bool want_data = true);
+
+  /// Metadata read (object_info / snapset) — the call community Ceph makes
+  /// on the write path. Page-cache hit or one device read.
+  sim::CoTask<std::optional<kv::Value>> getattr(const ObjectId& oid, const std::string& name);
+
+  /// stat(2)-equivalent: object existence + size.
+  sim::CoTask<std::optional<std::uint64_t>> stat(const ObjectId& oid);
+
+  /// Cheap in-memory checks for tests (no simulated cost).
+  bool object_in_memory(const ObjectId& oid) const { return objects_.count(oid) != 0; }
+  std::size_t object_count() const { return objects_.size(); }
+  std::uint64_t object_size(const ObjectId& oid) const;
+
+  // --- recovery support (control plane; I/O costs charged by the caller) -
+  std::vector<ObjectId> objects_in_pg(std::uint32_t pg) const;
+  struct ObjectExport {
+    std::vector<std::pair<std::uint64_t, Payload>> extents;
+    std::vector<std::pair<std::string, kv::Value>> xattrs;
+    std::uint64_t size = 0;
+  };
+  ObjectExport export_object(const ObjectId& oid) const;
+  /// Content fingerprint over the object's extents + size (scrub).
+  std::uint64_t object_fingerprint(const ObjectId& oid) const;
+  /// FAILURE INJECTION (tests): silently flip one byte of the object's
+  /// first extent, as latent media corruption would. Returns false if the
+  /// object has no data.
+  bool corrupt_object(const ObjectId& oid);
+
+  kv::Db& omap() { return omap_; }
+  PageCache& page_cache() { return cache_; }
+  const Config& config() const { return cfg_; }
+
+  /// Stop the writeback worker (flush first via drain()).
+  void close();
+  /// Wait until all dirty data has reached the device.
+  sim::CoTask<void> drain();
+  std::uint64_t dirty_bytes() const { return dirty_sem_.in_use(); }
+  std::uint64_t writeback_stalls() const { return dirty_sem_.blocked_acquires(); }
+
+  std::uint64_t syscalls() const { return syscalls_; }
+  std::uint64_t metadata_device_reads() const { return metadata_device_reads_; }
+  std::uint64_t applies() const { return applies_; }
+  std::uint64_t data_bytes_written() const { return data_bytes_written_; }
+
+ private:
+  struct Extent {
+    Payload data;  // length == extent length
+  };
+  struct Object {
+    std::map<std::uint64_t, Extent> extents;  // by offset, non-overlapping
+    std::map<std::string, kv::Value> xattrs;
+    std::uint64_t size = 0;
+  };
+
+  sim::CoTask<void> charge_syscalls(unsigned n);
+  Object& materialize_object(const ObjectId& oid);
+  const Object* find_object(const ObjectId& oid) const;
+  bool implicitly_exists(const ObjectId& oid) const;
+  static std::uint64_t object_hash(const ObjectId& oid);
+  /// Synthesized content seed for implicitly-populated objects.
+  static std::uint64_t populated_seed(const ObjectId& oid);
+
+  void write_extent(Object& obj, std::uint64_t off, Payload data);
+
+  /// Mark `bytes` dirty (blocking if over the writeback limit) and hand
+  /// them to the writeback worker.
+  sim::CoTask<void> buffer_write(std::uint64_t bytes);
+  sim::CoTask<void> writeback_loop();
+
+  sim::Simulation& sim_;
+  sim::CpuPool& cpu_;
+  dev::Device& dev_;
+  kv::Db& omap_;
+  Config cfg_;
+  Counters* counters_;
+  PageCache cache_;
+
+  std::unordered_map<ObjectId, Object, ObjectIdHash> objects_;
+  sim::Semaphore dirty_sem_;           // units = dirty bytes allowed
+  sim::Semaphore wb_parallel_;         // concurrent writeback I/Os
+  std::deque<std::uint64_t> wb_queue_;  // dirty extent sizes awaiting writeback
+  sim::CondVar wb_cv_;
+  sim::CondVar wb_idle_cv_;
+  unsigned wb_inflight_ = 0;
+  bool closing_ = false;
+  std::uint64_t wb_pos_ = 0;
+  std::uint64_t syscalls_ = 0;
+  std::uint64_t metadata_device_reads_ = 0;
+  std::uint64_t applies_ = 0;
+  std::uint64_t data_bytes_written_ = 0;
+};
+
+}  // namespace afc::fs

@@ -1,0 +1,47 @@
+#include "fs/journal.h"
+
+#include <vector>
+
+namespace afc::fs {
+
+Journal::Journal(sim::Simulation& sim, dev::Device& nvram, const Config& cfg)
+    : sim_(sim), nvram_(nvram), cfg_(cfg), space_(sim, cfg.size_bytes), queue_(sim) {
+  sim::spawn(writer_loop());
+}
+
+sim::CoTask<void> Journal::reserve(std::uint64_t bytes) {
+  co_await space_.acquire(bytes + cfg_.header_bytes);
+}
+
+void Journal::release(std::uint64_t bytes) { space_.release(bytes + cfg_.header_bytes); }
+
+sim::CoTask<void> Journal::write_entry(std::uint64_t bytes) {
+  sim::OneShot done(sim_);
+  Pending p{bytes, &done};
+  co_await queue_.push(&p);
+  co_await done.wait();
+}
+
+sim::CoTask<void> Journal::writer_loop() {
+  for (;;) {
+    auto first = co_await queue_.pop();
+    if (!first) break;
+    // Aggregate whatever else is queued right now into one direct write.
+    std::vector<Pending*> batch{*first};
+    while (batch.size() < cfg_.max_batch_entries && !queue_.empty()) {
+      auto more = co_await queue_.pop();
+      if (!more) break;
+      batch.push_back(*more);
+    }
+    std::uint64_t total = cfg_.header_bytes;
+    for (const Pending* p : batch) total += p->bytes;
+    co_await nvram_.submit(dev::IoType::kWrite, write_pos_, total);
+    write_pos_ = (write_pos_ + total) % cfg_.size_bytes;
+    bytes_written_ += total;
+    batches_++;
+    entries_ += batch.size();
+    for (Pending* p : batch) p->done->set();
+  }
+}
+
+}  // namespace afc::fs

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.h"
+#include "sim/channel.h"
+#include "sim/sync.h"
+
+namespace afc::fs {
+
+/// Ceph FileJournal on NVRAM: a ring buffer of encoded transactions written
+/// with direct I/O. An entry is *committed* once its (possibly batched)
+/// journal write completes; its ring space is freed only after the filestore
+/// has applied the transaction. When the filestore falls behind, the ring
+/// fills and `reserve()` blocks — the "journal is full / system gets blocked
+/// until data is flushed to filestore" stall that shapes the paper's Fig. 10
+/// 32K-write fluctuation.
+class Journal {
+ public:
+  struct Config {
+    std::uint64_t size_bytes = 2 * kGiB;  // paper: 8 GB NVRAM / 4 OSDs
+    std::uint64_t header_bytes = 4096;    // per-write alignment + header
+    unsigned max_batch_entries = 32;
+  };
+
+  Journal(sim::Simulation& sim, dev::Device& nvram, const Config& cfg);
+
+  /// Reserve ring space for an entry (blocks while the journal is full).
+  sim::CoTask<void> reserve(std::uint64_t bytes);
+
+  /// Free ring space after the filestore applied the entry.
+  void release(std::uint64_t bytes);
+
+  /// Durably write one reserved entry; resumes at commit. Concurrent
+  /// submitters are aggregated into one device write (journal batching).
+  sim::CoTask<void> write_entry(std::uint64_t bytes);
+
+  /// Stop the writer loop (drain first for clean shutdown).
+  void close() { queue_.close(); }
+
+  std::uint64_t entries_written() const { return entries_; }
+  std::uint64_t batches_written() const { return batches_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t full_stalls() const { return space_.blocked_acquires(); }
+  Time full_stall_ns() const { return space_.total_wait_ns(); }
+  std::uint64_t bytes_in_use() const { return space_.in_use(); }
+  double average_batch() const {
+    return batches_ == 0 ? 0.0 : double(entries_) / double(batches_);
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t bytes;
+    sim::OneShot* done;
+  };
+
+  sim::CoTask<void> writer_loop();
+
+  sim::Simulation& sim_;
+  dev::Device& nvram_;
+  Config cfg_;
+  sim::Semaphore space_;
+  sim::Channel<Pending*> queue_;
+  std::uint64_t write_pos_ = 0;
+  std::uint64_t entries_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace afc::fs

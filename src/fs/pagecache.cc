@@ -1,0 +1,51 @@
+#include "fs/pagecache.h"
+
+namespace afc::fs {
+
+bool PageCache::lookup(std::uint64_t object_hash, std::uint64_t page) {
+  auto it = map_.find(Key{object_hash, page});
+  if (it == map_.end()) {
+    misses_++;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_++;
+  return true;
+}
+
+void PageCache::insert(std::uint64_t object_hash, std::uint64_t page) {
+  const Key key{object_hash, page};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t PageCache::missing_pages(std::uint64_t object_hash, std::uint64_t offset,
+                                       std::uint64_t len) const {
+  if (len == 0) return 0;
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  std::uint64_t missing = 0;
+  for (std::uint64_t p = first; p <= last; p++) {
+    if (map_.find(Key{object_hash, p}) == map_.end()) missing++;
+  }
+  return missing;
+}
+
+void PageCache::insert_range(std::uint64_t object_hash, std::uint64_t offset,
+                             std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  for (std::uint64_t p = first; p <= last; p++) insert(object_hash, p);
+}
+
+}  // namespace afc::fs

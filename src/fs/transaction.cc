@@ -1,0 +1,73 @@
+#include "fs/transaction.h"
+
+namespace afc::fs {
+
+void Transaction::write(ObjectId oid, std::uint64_t offset, Payload data) {
+  TxOp op;
+  op.type = TxOpType::kWrite;
+  op.oid = std::move(oid);
+  op.offset = offset;
+  op.data = std::move(data);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::omap_setkeys(ObjectId oid,
+                               std::vector<std::pair<std::string, kv::Value>> kvs) {
+  TxOp op;
+  op.type = TxOpType::kOmapSetKeys;
+  op.oid = std::move(oid);
+  op.omap = std::move(kvs);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::omap_rmkeyrange(ObjectId oid, std::string lo, std::string hi) {
+  TxOp op;
+  op.type = TxOpType::kOmapRmKeyRange;
+  op.oid = std::move(oid);
+  op.range_lo = std::move(lo);
+  op.range_hi = std::move(hi);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::setattrs(ObjectId oid,
+                           std::vector<std::pair<std::string, kv::Value>> attrs) {
+  TxOp op;
+  op.type = TxOpType::kSetAttrs;
+  op.oid = std::move(oid);
+  op.attrs = std::move(attrs);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::set_alloc_hint(ObjectId oid) {
+  TxOp op;
+  op.type = TxOpType::kSetAllocHint;
+  op.oid = std::move(oid);
+  ops_.push_back(std::move(op));
+}
+
+std::uint64_t Transaction::encoded_bytes() const {
+  std::uint64_t total = 64;  // transaction header
+  for (const auto& op : ops_) {
+    total += 32 + op.oid.name.size();
+    switch (op.type) {
+      case TxOpType::kWrite:
+        total += op.data.size();
+        break;
+      case TxOpType::kOmapSetKeys:
+        for (const auto& [k, v] : op.omap) total += k.size() + v.size() + 8;
+        break;
+      case TxOpType::kOmapRmKeyRange:
+        total += op.range_lo.size() + op.range_hi.size();
+        break;
+      case TxOpType::kSetAttrs:
+        for (const auto& [k, v] : op.attrs) total += k.size() + v.size() + 8;
+        break;
+      case TxOpType::kSetAllocHint:
+        total += 16;
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace afc::fs

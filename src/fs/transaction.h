@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/payload.h"
+#include "kv/memtable.h"
+
+namespace afc::fs {
+
+/// Object identity within one OSD's store: the placement-group it hashes to
+/// plus its name (e.g. "rbd_data.3.00000000004a").
+struct ObjectId {
+  std::uint32_t pg = 0;
+  std::string name;
+
+  bool operator==(const ObjectId&) const = default;
+  auto operator<=>(const ObjectId&) const = default;
+};
+
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& o) const {
+    std::size_t h = std::hash<std::string>()(o.name);
+    return h ^ (std::size_t(o.pg) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+enum class TxOpType : std::uint8_t {
+  kWrite,          // OP_WRITE: object data
+  kOmapSetKeys,    // OP_OMAP_SETKEYS: PG log + omap into the KV DB
+  kOmapRmKeyRange, // PG log trim
+  kSetAttrs,       // OP_SETATTRS: xattrs (_ / snapset)
+  kSetAllocHint,   // OP_SETALLOCHINT: fallocate hint (removed by AFCeph)
+};
+
+struct TxOp {
+  TxOpType type{};
+  ObjectId oid;
+  std::uint64_t offset = 0;
+  Payload data;                                              // kWrite
+  std::vector<std::pair<std::string, kv::Value>> omap;       // kOmapSetKeys
+  std::string range_lo, range_hi;                            // kOmapRmKeyRange
+  std::vector<std::pair<std::string, kv::Value>> attrs;       // kSetAttrs
+};
+
+/// An ObjectStore transaction, mirroring Fig. 7 of the paper: one client
+/// write becomes OP_WRITE + OP_OMAP_SETKEYS (PG log, pg info) +
+/// OP_SETATTRS (+ OP_SETALLOCHINT in community Ceph). The journal writes
+/// the encoded transaction; the filestore later applies each op.
+class Transaction {
+ public:
+  void write(ObjectId oid, std::uint64_t offset, Payload data);
+  void omap_setkeys(ObjectId oid, std::vector<std::pair<std::string, kv::Value>> kvs);
+  void omap_rmkeyrange(ObjectId oid, std::string lo, std::string hi);
+  void setattrs(ObjectId oid, std::vector<std::pair<std::string, kv::Value>> attrs);
+  void set_alloc_hint(ObjectId oid);
+
+  const std::vector<TxOp>& ops() const { return ops_; }
+  std::size_t op_count() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Encoded size as journal payload (headers + data + metadata payloads).
+  std::uint64_t encoded_bytes() const;
+
+ private:
+  std::vector<TxOp> ops_;
+};
+
+}  // namespace afc::fs

@@ -1,0 +1,134 @@
+#include "kv/memtable.h"
+
+#include <cassert>
+
+namespace afc::kv {
+
+struct MemTable::SkipNode {
+  Entry entry;
+  int height;
+  SkipNode* next[1];  // flexible tower; allocated with extra space
+
+  static SkipNode* make(Entry e, int height) {
+    const std::size_t sz = sizeof(SkipNode) + sizeof(SkipNode*) * std::size_t(height - 1);
+    auto* raw = ::operator new(sz);
+    auto* n = new (raw) SkipNode{std::move(e), height, {nullptr}};
+    for (int i = 0; i < height; i++) n->next[i] = nullptr;
+    return n;
+  }
+  static void destroy(SkipNode* n) {
+    n->~SkipNode();
+    ::operator delete(n);
+  }
+};
+
+MemTable::MemTable(std::uint64_t seed) : rng_(seed) {
+  head_ = SkipNode::make(Entry{}, kMaxHeight);
+}
+
+MemTable::~MemTable() {
+  if (!head_) return;
+  SkipNode* n = head_;
+  while (n) {
+    SkipNode* next = n->next[0];
+    SkipNode::destroy(n);
+    n = next;
+  }
+}
+
+MemTable::MemTable(MemTable&& o) noexcept
+    : head_(o.head_), height_(o.height_), rng_(o.rng_), bytes_(o.bytes_), count_(o.count_) {
+  o.head_ = nullptr;
+  o.count_ = 0;
+  o.bytes_ = 0;
+}
+
+MemTable& MemTable::operator=(MemTable&& o) noexcept {
+  if (this != &o) {
+    this->~MemTable();
+    new (this) MemTable(std::move(o));
+  }
+  return *this;
+}
+
+int MemTable::random_height() {
+  int h = 1;
+  while (h < kMaxHeight && (rng_.next() & 3) == 0) h++;  // p = 1/4
+  return h;
+}
+
+MemTable::SkipNode* MemTable::find_greater_or_equal(std::string_view key,
+                                                    SkipNode** prev) const {
+  SkipNode* x = head_;
+  int level = height_ - 1;
+  for (;;) {
+    SkipNode* next = x->next[level];
+    if (next != nullptr && next->entry.key < key) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      level--;
+    }
+  }
+}
+
+void MemTable::put(std::string_view key, Value v, std::uint64_t seq) {
+  SkipNode* prev[kMaxHeight];
+  for (int i = height_; i < kMaxHeight; i++) prev[i] = head_;
+  SkipNode* n = find_greater_or_equal(key, prev);
+  if (n != nullptr && n->entry.key == key) {
+    bytes_ -= n->entry.encoded_size();
+    n->entry.value = std::move(v);
+    n->entry.seq = seq;
+    n->entry.type = EntryType::kPut;
+    bytes_ += n->entry.encoded_size();
+    return;
+  }
+  const int h = random_height();
+  if (h > height_) height_ = h;
+  Entry e{std::string(key), std::move(v), seq, EntryType::kPut};
+  bytes_ += e.encoded_size();
+  count_++;
+  SkipNode* node = SkipNode::make(std::move(e), h);
+  for (int i = 0; i < h; i++) {
+    node->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = node;
+  }
+}
+
+void MemTable::del(std::string_view key, std::uint64_t seq) {
+  put(key, Value{}, seq);
+  // Rewrite the freshly-updated node as a tombstone.
+  SkipNode* n = find_greater_or_equal(key, nullptr);
+  assert(n != nullptr && n->entry.key == key);
+  n->entry.type = EntryType::kDelete;
+  n->entry.seq = seq;
+}
+
+const Entry* MemTable::get(std::string_view key) const {
+  SkipNode* n = find_greater_or_equal(key, nullptr);
+  if (n != nullptr && n->entry.key == key) return &n->entry;
+  return nullptr;
+}
+
+std::vector<Entry> MemTable::dump() const {
+  std::vector<Entry> out;
+  out.reserve(count_);
+  for (SkipNode* n = head_->next[0]; n != nullptr; n = n->next[0]) out.push_back(n->entry);
+  return out;
+}
+
+const Entry* MemTable::seek(std::string_view from) const {
+  SkipNode* n = find_greater_or_equal(from, nullptr);
+  return n ? &n->entry : nullptr;
+}
+
+const Entry* MemTable::next(const Entry* e) const {
+  // Entry is the first member of SkipNode, so recover the node.
+  auto* node = reinterpret_cast<const SkipNode*>(e);
+  SkipNode* n = node->next[0];
+  return n ? &n->entry : nullptr;
+}
+
+}  // namespace afc::kv

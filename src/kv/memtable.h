@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace afc::kv {
+
+/// A value that is either real bytes (tested for correctness) or a virtual
+/// length (bulk PG-log traffic in benchmarks) — both cost the same simulated
+/// device bytes.
+struct Value {
+  std::string data;
+  std::uint32_t virtual_len = 0;
+
+  static Value real(std::string d) { return Value{std::move(d), 0}; }
+  static Value virt(std::uint32_t len) { return Value{{}, len}; }
+
+  bool is_virtual() const { return data.empty() && virtual_len != 0; }
+  std::uint64_t size() const { return is_virtual() ? virtual_len : data.size(); }
+  bool operator==(const Value& o) const = default;
+};
+
+enum class EntryType : std::uint8_t { kPut, kDelete };
+
+struct Entry {
+  std::string key;
+  Value value;
+  std::uint64_t seq = 0;
+  EntryType type = EntryType::kPut;
+
+  std::uint64_t encoded_size() const { return key.size() + value.size() + 16; }
+};
+
+/// Skiplist memtable: sorted by key, newest write wins in place (the DB
+/// layer has no MVCC readers, so keeping only the latest version per key is
+/// equivalent and cheaper). Tombstones are retained for correct merge with
+/// older SSTables.
+class MemTable {
+ public:
+  explicit MemTable(std::uint64_t seed = 1);
+  ~MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+  MemTable(MemTable&&) noexcept;
+  MemTable& operator=(MemTable&&) noexcept;
+
+  void put(std::string_view key, Value v, std::uint64_t seq);
+  void del(std::string_view key, std::uint64_t seq);
+
+  /// Latest entry for key, or nullptr (tombstones are returned too —
+  /// caller distinguishes via Entry::type).
+  const Entry* get(std::string_view key) const;
+
+  /// All entries in key order (for flush / iteration).
+  std::vector<Entry> dump() const;
+
+  /// First entry with key >= `from`; advance with next(). Returns nullptr
+  /// at the end.
+  const Entry* seek(std::string_view from) const;
+  const Entry* next(const Entry* e) const;
+
+  std::uint64_t approximate_bytes() const { return bytes_; }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct SkipNode;
+  int random_height();
+  SkipNode* find_greater_or_equal(std::string_view key, SkipNode** prev) const;
+
+  SkipNode* head_;
+  int height_ = 1;
+  Rng rng_;
+  std::uint64_t bytes_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace afc::kv

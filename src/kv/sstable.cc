@@ -1,0 +1,128 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace afc::kv {
+
+namespace {
+
+std::uint64_t hash_key(std::string_view key, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (char c : key) {
+    h ^= std::uint8_t(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  return h;
+}
+
+constexpr std::uint64_t kBlockSize = 4096;
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_keys) {
+  std::size_t nbits = expected_keys * 10;
+  if (nbits < 64) nbits = 64;
+  bits_.assign((nbits + 63) / 64, 0);
+}
+
+std::uint64_t BloomFilter::probe_mask(std::string_view key, int i) const {
+  return hash_key(key, 0x9e3779b97f4a7c15ull * std::uint64_t(i + 1));
+}
+
+void BloomFilter::add(std::string_view key) {
+  const std::uint64_t nbits = bits_.size() * 64;
+  for (int i = 0; i < 4; i++) {
+    const std::uint64_t bit = probe_mask(key, i) % nbits;
+    bits_[bit / 64] |= 1ull << (bit % 64);
+  }
+}
+
+bool BloomFilter::may_contain(std::string_view key) const {
+  const std::uint64_t nbits = bits_.size() * 64;
+  for (int i = 0; i < 4; i++) {
+    const std::uint64_t bit = probe_mask(key, i) % nbits;
+    if (!(bits_[bit / 64] & (1ull << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+SsTable::SsTable(std::uint64_t id, int level, std::vector<Entry> entries)
+    : id_(id), level_(level), entries_(std::move(entries)), bloom_(entries_.size()) {
+  std::uint64_t offset = 0;
+  std::uint64_t next_block_at = 0;
+  for (std::size_t i = 0; i < entries_.size(); i++) {
+    const Entry& e = entries_[i];
+    bloom_.add(e.key);
+    if (offset >= next_block_at) {
+      block_offsets_.push_back(i);
+      next_block_at = offset + kBlockSize;
+    }
+    offset += e.encoded_size();
+  }
+  data_bytes_ = offset;
+  if (!entries_.empty()) {
+    min_key_ = entries_.front().key;
+    max_key_ = entries_.back().key;
+  }
+}
+
+SsTable::Lookup SsTable::get(std::string_view key) const {
+  if (!key_in_range(key) || !bloom_.may_contain(key)) return {nullptr, false};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) return {&*it, true};
+  return {nullptr, true};  // bloom false positive still touched a block
+}
+
+std::uint64_t SsTable::block_of(std::string_view key) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const Entry& e, std::string_view k) { return e.key < k; });
+  const std::uint64_t idx = std::uint64_t(it - entries_.begin());
+  auto bit = std::upper_bound(block_offsets_.begin(), block_offsets_.end(), idx);
+  return std::uint64_t(bit - block_offsets_.begin());
+}
+
+std::vector<Entry> merge_runs(std::vector<const std::vector<Entry>*> newest_first,
+                              bool drop_deletes) {
+  // K-way merge with run priority: lower run index = newer.
+  struct Cursor {
+    const std::vector<Entry>* run;
+    std::size_t pos;
+    std::size_t priority;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) {
+    const Entry& ea = (*a.run)[a.pos];
+    const Entry& eb = (*b.run)[b.pos];
+    if (ea.key != eb.key) return ea.key > eb.key;
+    if (ea.seq != eb.seq) return ea.seq < eb.seq;  // higher seq (newer) first
+    return a.priority > b.priority;                // then newer run
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+  for (std::size_t i = 0; i < newest_first.size(); i++) {
+    if (!newest_first[i]->empty()) heap.push(Cursor{newest_first[i], 0, i});
+  }
+  std::vector<Entry> out;
+  std::string last_key;
+  bool have_last = false;
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    const Entry& e = (*c.run)[c.pos];
+    if (!have_last || e.key != last_key) {
+      last_key = e.key;
+      have_last = true;
+      if (!(drop_deletes && e.type == EntryType::kDelete)) out.push_back(e);
+    }
+    if (c.pos + 1 < c.run->size()) {
+      c.pos++;
+      heap.push(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace afc::kv

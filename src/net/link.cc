@@ -1,0 +1,4 @@
+#include "net/link.h"
+
+// Node is header-only; this TU keeps the module list uniform.
+namespace afc::net {}

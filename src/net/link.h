@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cpu.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace afc::net {
+
+/// One physical server: a CPU pool plus a NIC. OSD daemons, clients and the
+/// SolidFire model all charge their per-message / per-op CPU work to the
+/// node they run on, which is what creates the CPU ceilings of the paper's
+/// Fig. 12 (messenger) and the ">4 OSDs per node gains nothing because OSDs
+/// used significant CPU" observation in §4.1.
+class Node {
+ public:
+  struct Config {
+    unsigned cores = 16;
+    std::uint64_t nic_bw = 1250 * kMiB;  // 10 GbE, bytes/sec
+  };
+
+  Node(sim::Simulation& sim, std::string name, const Config& cfg)
+      : sim_(sim), name_(std::move(name)), cfg_(cfg), cpu_(sim, cfg.cores), tx_(sim, 1) {}
+
+  const std::string& name() const { return name_; }
+  sim::Simulation& simulation() { return sim_; }
+  sim::CpuPool& cpu() { return cpu_; }
+
+  /// Serialize `bytes` onto the wire (FIFO; the NIC is a single resource,
+  /// so concurrent senders queue). Awaiter-based: one event per transfer.
+  sim::CpuPool::Consume nic_transmit(std::uint64_t bytes) {
+    tx_bytes_ += bytes;
+    return tx_.consume(Time(double(bytes) / double(cfg_.nic_bw) * double(kSecond)));
+  }
+
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  double nic_utilization() const { return tx_.utilization(); }
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  Config cfg_;
+  sim::CpuPool cpu_;
+  sim::CpuPool tx_;  // single-server wire serialization
+  std::uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace afc::net

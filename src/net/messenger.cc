@@ -1,0 +1,84 @@
+#include "net/messenger.h"
+
+namespace afc::net {
+
+Connection::Connection(Messenger& local, Messenger& remote, const Config& cfg)
+    : local_(local), remote_(remote), cfg_(cfg), tx_(local.simulation()), rx_(local.simulation()) {}
+
+void Connection::send(Message m) {
+  sent_++;
+  inflight_++;
+  tx_.try_push(std::move(m));  // tx_ is unbounded; try_push never fails while open
+}
+
+sim::CoTask<void> Connection::sender_loop() {
+  for (;;) {
+    auto m = co_await tx_.pop();
+    if (!m) break;
+    // Nagle: a message whose final segment is a runt (size not a multiple
+    // of the MSS — every small/medium KRBD request, including a 4K write's
+    // header+payload) waits for the delayed ACK of the previous exchange
+    // when the direction is otherwise idle. `inflight_` counts this message
+    // too, hence <= 1 means idle. Large streaming transfers keep the pipe
+    // full and are unaffected.
+    const bool runt = (m->size < cfg_.mss) ||
+                      (m->size <= cfg_.nagle_max_size && (m->size % cfg_.mss) != 0);
+    if (cfg_.nagle && runt && inflight_ <= 1) {
+      nagle_stalls_++;
+      co_await sim::delay(local_.simulation(), cfg_.nagle_stall);
+    }
+    co_await local_.node().cpu().consume(cfg_.send_cpu);
+    co_await local_.node().nic_transmit(m->size);
+    co_await sim::delay(local_.simulation(), cfg_.prop_latency);
+    co_await rx_.push(std::move(*m));
+  }
+}
+
+sim::CoTask<void> Connection::receiver_loop() {
+  for (;;) {
+    auto m = co_await rx_.pop();
+    if (!m) break;
+    const Time cpu =
+        cfg_.recv_cpu + Time(cfg_.per_conn_recv_cpu) * remote_.rx_connections();
+    co_await remote_.node().cpu().consume(cpu);
+    inflight_--;
+    m->reply_to = reverse_;
+    remote_.delivered_++;
+    co_await remote_.receiver().on_message(std::move(*m));
+  }
+}
+
+void Connection::close() {
+  tx_.close();
+  rx_.close();
+}
+
+Messenger::Messenger(sim::Simulation& sim, Node& node, Receiver& rx, std::string name)
+    : sim_(sim), node_(node), rx_(rx), name_(std::move(name)) {}
+
+Connection* Messenger::connect(Messenger& remote, const Connection::Config& cfg) {
+  auto fwd = std::make_unique<Connection>(*this, remote, cfg);
+  // The reply direction never applies Nagle (Ceph sets TCP_NODELAY on the
+  // sockets it owns; the paper's problem is the KRBD client side).
+  Connection::Config back_cfg = cfg;
+  back_cfg.nagle = false;
+  auto back = std::make_unique<Connection>(remote, *this, back_cfg);
+  fwd->reverse_ = back.get();
+  back->reverse_ = fwd.get();
+  remote.rx_connections_++;
+  rx_connections_++;
+  Connection* out = fwd.get();
+  sim::spawn(fwd->sender_loop());
+  sim::spawn(fwd->receiver_loop());
+  sim::spawn(back->sender_loop());
+  sim::spawn(back->receiver_loop());
+  conns_.push_back(std::move(fwd));
+  conns_.push_back(std::move(back));
+  return out;
+}
+
+void Messenger::close_all() {
+  for (auto& c : conns_) c->close();
+}
+
+}  // namespace afc::net

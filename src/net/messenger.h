@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "sim/channel.h"
+
+namespace afc::net {
+
+/// Base class for message payloads; the OSD/client layers subclass this.
+struct MsgBody {
+  virtual ~MsgBody() = default;
+};
+
+struct Message {
+  int type = 0;
+  std::uint64_t size = 0;  // wire size in bytes (header + payload)
+  std::shared_ptr<MsgBody> body;
+  class Connection* reply_to = nullptr;  // reverse direction, set on delivery
+};
+
+class Messenger;
+
+/// Anything that can receive messages (an OSD, a client, a SolidFire node).
+class Receiver {
+ public:
+  virtual ~Receiver() = default;
+  /// Called in-order per connection after the receive-side CPU cost has been
+  /// charged. The connection's delivery pipeline waits for the returned task,
+  /// so suspending here (e.g. on the OSD's client-message throttle) back-
+  /// pressures that connection exactly like the real messenger's dispatch
+  /// throttler. Spawn long work instead of awaiting it.
+  virtual sim::CoTask<void> on_message(Message m) = 0;
+};
+
+/// One direction of a messenger pair: local → remote. Models Ceph's
+/// SimpleMessenger structure: a dedicated sender pipeline and a dedicated
+/// receiver pipeline per connection, in-order delivery, and per-message CPU
+/// charged to both endpoints. Optionally applies a TCP-Nagle stall to small
+/// messages when the direction is otherwise idle (the KRBD behaviour the
+/// paper's system tuning disables).
+class Connection {
+ public:
+  struct Config {
+    Time prop_latency = 60 * kMicrosecond;  // switch + propagation
+    Time send_cpu = 10 * kMicrosecond;
+    Time recv_cpu = 14 * kMicrosecond;
+    Time per_conn_recv_cpu = 60;  // ns per registered rx connection: the
+                                  // SimpleMessenger thread-per-connection
+                                  // context-switch tax (Fig. 12)
+    bool nagle = false;
+    Time nagle_stall = 3 * kMillisecond;
+    std::uint64_t mss = 1448;
+    std::uint64_t nagle_max_size = 64 * 1024;  // larger transfers stream
+  };
+
+  Connection(Messenger& local, Messenger& remote, const Config& cfg);
+
+  /// Enqueue a message for ordered delivery to the remote receiver.
+  void send(Message m);
+
+  Connection* reverse() const { return reverse_; }
+  Messenger& local() { return local_; }
+  Messenger& remote() { return remote_; }
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t nagle_stalls() const { return nagle_stalls_; }
+
+  /// Stop the pipelines once drained (for clean shutdown).
+  void close();
+
+ private:
+  friend class Messenger;
+  sim::CoTask<void> sender_loop();
+  sim::CoTask<void> receiver_loop();
+
+  Messenger& local_;
+  Messenger& remote_;
+  Config cfg_;
+  Connection* reverse_ = nullptr;
+  sim::Channel<Message> tx_;
+  sim::Channel<Message> rx_;
+  std::uint64_t inflight_ = 0;  // messages in this direction's pipelines
+  std::uint64_t sent_ = 0;
+  std::uint64_t nagle_stalls_ = 0;
+};
+
+/// A message endpoint bound to a Node and a Receiver.
+class Messenger {
+ public:
+  Messenger(sim::Simulation& sim, Node& node, Receiver& rx, std::string name);
+  Messenger(const Messenger&) = delete;
+  Messenger& operator=(const Messenger&) = delete;
+
+  /// Create a bidirectional connection pair; returns the local→remote
+  /// direction (use conn->reverse() for replies, though delivery already
+  /// stamps Message::reply_to).
+  Connection* connect(Messenger& remote, const Connection::Config& cfg);
+
+  sim::Simulation& simulation() { return sim_; }
+  Node& node() { return node_; }
+  Receiver& receiver() { return rx_; }
+  const std::string& name() const { return name_; }
+
+  unsigned rx_connections() const { return rx_connections_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+  void close_all();
+
+ private:
+  friend class Connection;
+  sim::Simulation& sim_;
+  Node& node_;
+  Receiver& rx_;
+  std::string name_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  unsigned rx_connections_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace afc::net

@@ -1,0 +1,38 @@
+#include "osd/dout.h"
+
+namespace afc::osd {
+
+DebugLog::DebugLog(sim::Simulation& sim, sim::CpuPool& cpu, const Config& cfg)
+    : sim_(sim), cpu_(cpu), cfg_(cfg), writer_gate_(sim, 1), queue_(sim, cfg.queue_capacity) {
+  if (cfg_.enabled && cfg_.nonblocking) {
+    for (unsigned i = 0; i < cfg_.writer_threads; i++) sim::spawn(writer_loop());
+  }
+}
+
+sim::CoTask<void> DebugLog::log(unsigned entries) {
+  if (!cfg_.enabled || entries == 0) co_return;
+  emitted_ += entries;
+  if (cfg_.nonblocking) {
+    const Time fmt = cfg_.log_cache ? cfg_.cached_format_cpu : cfg_.submit_cpu + 400;
+    co_await cpu_.consume(Time(double(fmt + cfg_.submit_cpu) * entries * cfg_.cpu_multiplier));
+    if (!queue_.try_push(entries)) dropped_ += entries;
+    co_return;
+  }
+  // Blocking mode: format inline, then serialize through the single writer.
+  co_await cpu_.consume(Time(double(cfg_.format_cpu) * entries * cfg_.cpu_multiplier));
+  co_await writer_gate_.acquire(1);
+  co_await cpu_.consume(Time(double(cfg_.writer_cpu) * entries));
+  written_ += entries;
+  writer_gate_.release(1);
+}
+
+sim::CoTask<void> DebugLog::writer_loop() {
+  for (;;) {
+    auto batch = co_await queue_.pop();
+    if (!batch) break;
+    co_await cpu_.consume(Time(double(cfg_.writer_cpu_async) * *batch));
+    written_ += *batch;
+  }
+}
+
+}  // namespace afc::osd

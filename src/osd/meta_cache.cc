@@ -1,0 +1,38 @@
+#include "osd/meta_cache.h"
+
+namespace afc::osd {
+
+std::optional<ObjectMeta> MetaCache::lookup(const fs::ObjectId& oid) {
+  auto it = map_.find(oid);
+  if (it == map_.end()) {
+    misses_++;
+    return std::nullopt;
+  }
+  hits_++;
+  lru_.splice(lru_.begin(), lru_, it->second.where);
+  return it->second.meta;
+}
+
+void MetaCache::insert(const fs::ObjectId& oid, const ObjectMeta& meta) {
+  auto it = map_.find(oid);
+  if (it != map_.end()) {
+    it->second.meta = meta;
+    lru_.splice(lru_.begin(), lru_, it->second.where);
+    return;
+  }
+  lru_.push_front(oid);
+  map_.emplace(oid, Slot{meta, lru_.begin()});
+  while (map_.size() > cfg_.capacity && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void MetaCache::invalidate(const fs::ObjectId& oid) {
+  auto it = map_.find(oid);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.where);
+  map_.erase(it);
+}
+
+}  // namespace afc::osd

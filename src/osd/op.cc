@@ -1,0 +1,4 @@
+#include "osd/op.h"
+
+// Message/op structs are header-only; this TU keeps the module list uniform.
+namespace afc::osd {}

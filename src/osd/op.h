@@ -1,0 +1,109 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/payload.h"
+#include "fs/transaction.h"
+#include "net/messenger.h"
+
+namespace afc::osd {
+
+/// Wire message types between clients and OSDs / between OSDs.
+enum MsgType : int {
+  kClientWrite = 1,
+  kClientRead = 2,
+  kRepOp = 3,       // primary -> replica
+  kRepReply = 4,    // replica -> primary (journal commit ack)
+  kWriteReply = 5,  // primary -> client
+  kReadReply = 6,
+};
+
+/// A client I/O request (MOSDOp).
+struct ClientIoMsg : net::MsgBody {
+  std::uint64_t op_id = 0;
+  std::uint64_t client_id = 0;
+  std::uint32_t pg = 0;
+  fs::ObjectId oid;
+  std::uint64_t offset = 0;
+  std::uint64_t read_len = 0;
+  Payload data;  // write payload
+  bool is_write = false;
+  bool want_data = false;  // reads: materialize bytes (verification)
+  Time issued_at = 0;
+};
+
+/// Replication sub-op (MOSDRepOp) carrying the transaction payload.
+struct RepOpMsg : net::MsgBody {
+  std::uint64_t op_id = 0;
+  std::uint32_t pg = 0;
+  fs::ObjectId oid;
+  std::uint64_t offset = 0;
+  Payload data;
+  std::uint64_t version = 0;
+};
+
+/// Replica journal-commit ack (MOSDRepOpReply).
+struct RepReplyMsg : net::MsgBody {
+  std::uint64_t op_id = 0;
+  std::uint32_t pg = 0;
+};
+
+/// Reply to the client.
+struct IoReplyMsg : net::MsgBody {
+  std::uint64_t op_id = 0;
+  bool is_write = false;
+  bool ok = true;
+  std::uint64_t data_len = 0;
+  std::optional<std::vector<std::uint8_t>> data;  // reads with want_data
+  Time issued_at = 0;
+};
+
+/// Fig. 3 stage indices for the write-path latency breakdown.
+enum Stage : unsigned {
+  kStRecv = 0,       // message arrived at the OSD dispatcher
+  kStDequeued = 1,   // picked up by an OP_WQ worker
+  kStSubmitted = 2,  // repops sent + transaction prepared ("submit op to PG backend")
+  kStJournalQ = 3,   // throttles passed, journal write queued
+  kStJournaled = 4,  // journal write durable
+  kStCommitEvt = 5,  // journal completion processed at PG backend
+  kStRepAcked = 6,   // all replica commits processed
+  kStAcked = 7,      // client ack sent
+  kStageCount = 8,
+};
+
+/// Primary-side state for one in-flight client op.
+struct OpCtx {
+  std::shared_ptr<ClientIoMsg> msg;
+  net::Connection* reply_conn = nullptr;
+  fs::Transaction txn;
+  std::uint64_t journal_bytes = 0;
+  unsigned commits_needed = 0;
+  unsigned commits_seen = 0;
+  bool acked = false;
+  std::array<Time, kStageCount> ts{};
+
+  void stamp(Stage s, Time now) { ts[s] = now; }
+};
+
+using OpRef = std::shared_ptr<OpCtx>;
+
+/// Items flowing through the sharded OP_WQ. Everything community Ceph
+/// funnels through the PG queue is an item kind here; AFCeph diverts
+/// completion/ack kinds off this path entirely.
+struct WorkItem {
+  enum Kind {
+    kClientOp,
+    kReplicaOp,
+    kRepReplyEvent,  // community: replica ack processed under PG lock
+    kAckEvent,       // community: client ack goes back through the queue
+  };
+  Kind kind = kClientOp;
+  std::uint32_t pg = 0;
+  OpRef op;                             // kClientOp / kRepReplyEvent / kAckEvent
+  std::shared_ptr<RepOpMsg> rep;        // kReplicaOp
+  net::Connection* conn = nullptr;      // reply path for kReplicaOp
+};
+
+}  // namespace afc::osd

@@ -1,0 +1,786 @@
+#include "osd/osd.h"
+
+namespace afc::osd {
+
+namespace {
+
+fs::FileStore::Config with_profile(fs::FileStore::Config cfg, const core::Profile& p) {
+  cfg.cpu_multiplier = p.alloc_cpu_multiplier();
+  return cfg;
+}
+
+kv::Db::Config kv_with_profile(kv::Db::Config cfg, const core::Profile& p) {
+  cfg.cpu_multiplier = p.alloc_cpu_multiplier();
+  return cfg;
+}
+
+DebugLog::Config log_with_profile(DebugLog::Config cfg, const core::Profile& p) {
+  cfg.enabled = p.logging_enabled;
+  cfg.nonblocking = p.nonblocking_logging;
+  cfg.writer_threads = p.log_writer_threads;
+  cfg.log_cache = p.log_cache;
+  cfg.cpu_multiplier = p.alloc_cpu_multiplier();
+  return cfg;
+}
+
+MetaCache::Config meta_cache_cfg(const core::Profile& p) {
+  MetaCache::Config c;
+  c.writethrough_authoritative = p.writethrough_meta_cache;
+  // AFCeph §3.4: size the cache for the full working set ("10 TB needs
+  // 2.5 GB"); community Ceph keeps a bounded read-through cache.
+  c.capacity = p.writethrough_meta_cache ? std::size_t(4) << 20 : 8192;
+  return c;
+}
+
+}  // namespace
+
+Osd::Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
+         dev::Device& data_dev, cluster::ClusterMap& cmap, std::uint32_t id,
+         const OsdConfig& cfg, const core::Profile& profile,
+         const fs::FileStore::Config& fs_cfg, const kv::Db::Config& kv_cfg,
+         const ThrottleSet::Config& throttle_cfg, DebugLog::Config log_cfg,
+         const fs::Journal::Config& journal_cfg)
+    : sim_(sim),
+      node_(node),
+      cmap_(cmap),
+      id_(id),
+      cfg_(cfg),
+      profile_(profile),
+      msgr_(sim, node, *this, "osd." + std::to_string(id)),
+      throttles_(sim, throttle_cfg),
+      dlog_(sim, node.cpu(), log_with_profile(log_cfg, profile)),
+      omap_(sim, data_dev, kv_with_profile(kv_cfg, profile), 1000 + id, &node.cpu()),
+      store_(sim, node.cpu(), data_dev, omap_, with_profile(fs_cfg, profile), &counters_),
+      journal_(sim, journal_dev, journal_cfg),
+      meta_cache_(meta_cache_cfg(profile)),
+      finisher_q_(sim),
+      completion_q_(sim),
+      apply_q_(sim) {
+  shard_queues_.reserve(cfg_.shards);
+  for (unsigned s = 0; s < cfg_.shards; s++) {
+    shard_queues_.push_back(std::make_unique<sim::Channel<WorkItem>>(sim));
+    for (unsigned w = 0; w < cfg_.workers_per_shard; w++) sim::spawn(worker_loop(s));
+  }
+  if (profile_.dedicated_completion) {
+    sim::spawn(completion_worker_loop());
+  } else {
+    sim::spawn(finisher_loop());
+  }
+  for (unsigned a = 0; a < cfg_.apply_threads; a++) sim::spawn(apply_loop());
+}
+
+Osd::~Osd() = default;
+
+void Osd::create_pg(std::uint32_t pgid, std::vector<std::uint32_t> acting) {
+  pgs_.emplace(pgid, std::make_unique<Pg>(sim_, pgid, std::move(acting)));
+}
+
+Pg* Osd::find_pg(std::uint32_t pgid) {
+  auto it = pgs_.find(pgid);
+  return it == pgs_.end() ? nullptr : it->second.get();
+}
+
+void Osd::add_peer(std::uint32_t osd_id, net::Connection* conn) { peers_[osd_id] = conn; }
+
+sim::CoTask<void> Osd::charge_cpu(Time cost, bool alloc_heavy) {
+  const double mult = alloc_heavy ? profile_.alloc_cpu_multiplier() : 1.0;
+  co_await node_.cpu().consume(Time(double(cost) * mult));
+}
+
+void Osd::shard_push(WorkItem item) {
+  const unsigned shard = item.pg % cfg_.shards;
+  shard_queues_[shard]->try_push(std::move(item));  // PG queues are unbounded
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (messenger context)
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::on_message(net::Message m) {
+  switch (m.type) {
+    case kClientWrite:
+    case kClientRead:
+      co_await dispatch_client_op(std::static_pointer_cast<ClientIoMsg>(m.body), m.reply_to);
+      break;
+    case kRepOp: {
+      co_await charge_cpu(cfg_.dispatch_cpu / 2, true);
+      WorkItem item;
+      item.kind = WorkItem::kReplicaOp;
+      item.rep = std::static_pointer_cast<RepOpMsg>(m.body);
+      item.pg = item.rep->pg;
+      item.conn = m.reply_to;
+      shard_push(std::move(item));
+      break;
+    }
+    case kRepReply:
+      co_await dispatch_rep_reply(std::static_pointer_cast<RepReplyMsg>(m.body));
+      break;
+    default:
+      break;
+  }
+}
+
+sim::CoTask<void> Osd::dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
+                                          net::Connection* conn) {
+  // Messenger dispatch throttle: suspending here stalls this connection's
+  // delivery pipeline (osd_client_message_cap backpressure).
+  co_await throttles_.messages.acquire(1);
+  co_await throttles_.message_bytes.acquire(msg->data.size() + 150);
+  co_await charge_cpu(cfg_.dispatch_cpu, true);
+
+  auto op = std::make_shared<OpCtx>();
+  op->msg = msg;
+  op->reply_conn = conn;
+  op->stamp(kStRecv, sim_.now());
+  inflight_[msg->op_id] = op;
+  if (profile_.ordered_acks && msg->is_write) {
+    ack_state_[msg->client_id].outstanding.insert(msg->op_id);
+  }
+
+  WorkItem item;
+  item.kind = WorkItem::kClientOp;
+  item.pg = msg->pg;
+  item.op = std::move(op);
+  shard_push(std::move(item));
+}
+
+sim::CoTask<void> Osd::dispatch_rep_reply(std::shared_ptr<RepReplyMsg> msg) {
+  auto it = inflight_.find(msg->op_id);
+  if (it == inflight_.end()) co_return;
+  OpRef op = it->second;
+  if (profile_.fast_ack) {
+    // AFCeph: replica commit handled right here, no PG-queue round trip.
+    co_await charge_cpu(cfg_.repreply_cpu, false);
+    op->commits_seen++;
+    op->stamp(kStRepAcked, sim_.now());
+    completion_q_.try_push(CompletionEvent{CompletionEvent::kRepCommit, op, msg->pg, {}, nullptr});
+    co_return;
+  }
+  // Community: the commit notification competes with data ops in the OP_WQ.
+  WorkItem item;
+  item.kind = WorkItem::kRepReplyEvent;
+  item.pg = msg->pg;
+  item.op = std::move(op);
+  shard_push(std::move(item));
+}
+
+// ---------------------------------------------------------------------------
+// OP_WQ workers
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::worker_loop(unsigned shard) {
+  for (;;) {
+    auto item = co_await shard_queues_[shard]->pop();
+    if (!item) break;
+    if (item->kind == WorkItem::kClientOp) item->op->stamp(kStDequeued, sim_.now());
+    if (profile_.pending_queue) {
+      co_await run_item_pending_queue(std::move(*item));
+    } else {
+      co_await run_item_community(std::move(*item));
+    }
+  }
+}
+
+sim::CoTask<void> Osd::run_item_community(WorkItem item) {
+  Pg* pg = find_pg(item.pg);
+  if (pg == nullptr) co_return;
+  // The worker blocks here while any other thread (another worker, the
+  // finisher, an ack) holds this PG's lock — the head-of-line blocking of
+  // paper Fig. 5.
+  co_await pg->lock().lock();
+  co_await process_item(item);
+  pg->lock().unlock();
+}
+
+sim::CoTask<void> Osd::run_item_pending_queue(WorkItem item) {
+  Pg* pg = find_pg(item.pg);
+  if (pg == nullptr) co_return;
+  if (pg->busy) {
+    // Park the op; this worker stays free for other PGs. Per-PG order is
+    // preserved because the pending queue is drained FIFO by the owner.
+    pg->pending.push_back(std::move(item));
+    pg->pending_defers++;
+    if (pg->pending.size() > pg->pending_high_water) pg->pending_high_water = pg->pending.size();
+    co_return;
+  }
+  pg->busy = true;
+  co_await process_item(item);
+  while (!pg->pending.empty()) {
+    WorkItem next = std::move(pg->pending.front());
+    pg->pending.pop_front();
+    co_await process_item(next);
+  }
+  pg->busy = false;
+}
+
+sim::CoTask<void> Osd::process_item(WorkItem& item) {
+  switch (item.kind) {
+    case WorkItem::kClientOp:
+      if (item.op->msg->is_write) {
+        co_await process_client_write(item);
+      } else {
+        co_await process_client_read(item);
+      }
+      break;
+    case WorkItem::kReplicaOp:
+      co_await process_replica_op(item);
+      break;
+    case WorkItem::kRepReplyEvent:
+      co_await process_rep_reply_locked(item);
+      break;
+    case WorkItem::kAckEvent:
+      co_await process_ack_locked(item);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------------
+
+sim::CoTask<ObjectMeta> Osd::ensure_object_meta(const fs::ObjectId& oid) {
+  if (auto m = meta_cache_.lookup(oid)) co_return *m;
+  ObjectMeta meta;
+  if (meta_cache_.authoritative()) {
+    // Write-through cache warmed since boot: a miss is authoritative and
+    // costs no storage read (§3.4: "most of the metadata exist in memory").
+    meta.exists = store_.object_in_memory(oid) || store_.config().assume_populated;
+    meta.size = meta.exists ? store_.config().populated_object_size : 0;
+  } else {
+    // Community read-modify-write: object_info then snapset, from the
+    // filestore — device reads that land in the middle of the write stream.
+    auto oi = co_await store_.getattr(oid, "_");
+    meta.exists = oi.has_value();
+    if (meta.exists) {
+      auto ss = co_await store_.getattr(oid, "snapset");
+      (void)ss;
+      meta.size = store_.config().assume_populated ? store_.config().populated_object_size
+                                                   : store_.object_size(oid);
+    }
+  }
+  meta_cache_.insert(oid, meta);
+  co_return meta;
+}
+
+// ---------------------------------------------------------------------------
+// Primary write path
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
+  OpRef op = item.op;
+  ClientIoMsg& msg = *op->msg;
+  Pg& pg = *find_pg(item.pg);
+
+  co_await dlog_.log(cfg_.log_entries_dispatch);
+  ObjectMeta meta = co_await ensure_object_meta(msg.oid);
+  co_await charge_cpu(cfg_.prepare_cpu, true);
+
+  const std::uint64_t version = pg.next_version();
+  fs::Transaction txn;
+  txn.write(msg.oid, msg.offset, msg.data);
+  {
+    std::vector<std::pair<std::string, kv::Value>> kvs;
+    kvs.emplace_back(pg.log_key(version), kv::Value::virt(std::uint32_t(cfg_.pg_log_entry_bytes)));
+    kvs.emplace_back(pg.info_key(), kv::Value::virt(std::uint32_t(cfg_.pg_info_bytes)));
+    txn.omap_setkeys(msg.oid, std::move(kvs));
+  }
+  txn.setattrs(msg.oid, {{"_", kv::Value::virt(std::uint32_t(cfg_.attr_oi_bytes))},
+                         {"snapset", kv::Value::virt(std::uint32_t(cfg_.attr_ss_bytes))}});
+  if (!profile_.skip_alloc_hint) txn.set_alloc_hint(msg.oid);
+  if (version % cfg_.pg_log_trim_every == 0 && version > pg.log_floor + cfg_.pg_log_keep) {
+    const std::uint64_t new_floor = version - cfg_.pg_log_keep;
+    txn.omap_rmkeyrange(msg.oid, pg.log_key(pg.log_floor), pg.log_key(new_floor));
+    pg.log_floor = new_floor;
+  }
+
+  // Every write refreshes the in-memory object context (community Ceph does
+  // this too); the community/AFCeph difference is the cache's capacity and
+  // whether a miss forces a storage read.
+  {
+    ObjectMeta updated;
+    updated.exists = true;
+    updated.size = std::max(meta.size, msg.offset + msg.data.size());
+    updated.version = version;
+    meta_cache_.insert(msg.oid, updated);
+  }
+
+  // Splay replication: subops to every replica, ack when all journals
+  // (local + replicas) have committed.
+  op->commits_needed = unsigned(pg.acting().size());
+  for (std::uint32_t peer : pg.acting()) {
+    if (peer == id_) continue;
+    auto rep = std::make_shared<RepOpMsg>();
+    rep->op_id = msg.op_id;
+    rep->pg = msg.pg;
+    rep->oid = msg.oid;
+    rep->offset = msg.offset;
+    rep->data = msg.data;
+    rep->version = version;
+    auto it = peers_.find(peer);
+    if (it == peers_.end()) {
+      op->commits_needed--;  // peer unreachable (e.g. degraded test setups)
+      continue;
+    }
+    net::Message wire;
+    wire.type = kRepOp;
+    wire.size = msg.data.size() + cfg_.repop_header_bytes;
+    wire.body = std::move(rep);
+    it->second->send(std::move(wire));
+  }
+  op->stamp(kStSubmitted, sim_.now());
+
+  // Admission to journal+filestore — still inside the PG critical section,
+  // which is exactly the paper's Fig. 3 step (3) complaint.
+  const std::uint64_t jbytes = txn.encoded_bytes();
+  co_await throttles_.filestore_ops.acquire(1);
+  co_await throttles_.filestore_bytes.acquire(jbytes);
+  co_await throttles_.journal_ops.acquire(1);
+  co_await journal_.reserve(jbytes);
+  op->journal_bytes = jbytes;
+  op->txn = std::move(txn);
+  op->stamp(kStJournalQ, sim_.now());
+  client_writes_++;
+  note_apply_queued(msg.oid);
+  sim::spawn(journal_path(op));
+}
+
+sim::CoTask<void> Osd::journal_path(OpRef op) {
+  co_await journal_.write_entry(op->journal_bytes);
+  throttles_.journal_ops.release(1);
+  op->stamp(kStJournaled, sim_.now());
+  co_await dlog_.log(cfg_.log_entries_journal);
+
+  // Write-ahead satisfied: queue the filestore apply.
+  ApplyItem ai;
+  ai.txn = std::move(op->txn);
+  ai.journal_bytes = op->journal_bytes;
+  ai.op = op;
+  ai.oid = op->msg->oid;
+  apply_q_.try_push(std::move(ai));
+
+  if (profile_.dedicated_completion) {
+    // OP-lock work only; PG-side status work is deferred to the batched
+    // completion worker.
+    co_await charge_cpu(cfg_.oplock_cpu, false);
+    completion_q_.try_push(CompletionEvent{CompletionEvent::kCommit, op, op->msg->pg, {}, nullptr});
+  } else {
+    finisher_q_.try_push(CompletionEvent{CompletionEvent::kCommit, op, op->msg->pg, {}, nullptr});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replica path
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::process_replica_op(WorkItem& item) {
+  RepOpMsg& rep = *item.rep;
+  Pg* pgp = find_pg(item.pg);
+  if (pgp == nullptr) co_return;
+  Pg& pg = *pgp;
+
+  co_await dlog_.log(cfg_.log_entries_replica);
+  co_await charge_cpu(cfg_.replica_prepare_cpu, true);
+  pg.observe_version(rep.version);
+
+  fs::Transaction txn;
+  txn.write(rep.oid, rep.offset, rep.data);
+  {
+    std::vector<std::pair<std::string, kv::Value>> kvs;
+    kvs.emplace_back(pg.log_key(rep.version), kv::Value::virt(std::uint32_t(cfg_.pg_log_entry_bytes)));
+    kvs.emplace_back(pg.info_key(), kv::Value::virt(std::uint32_t(cfg_.pg_info_bytes)));
+    txn.omap_setkeys(rep.oid, std::move(kvs));
+  }
+  txn.setattrs(rep.oid, {{"_", kv::Value::virt(std::uint32_t(cfg_.attr_oi_bytes))}});
+  if (!profile_.skip_alloc_hint) txn.set_alloc_hint(rep.oid);
+
+  const std::uint64_t jbytes = txn.encoded_bytes();
+  co_await throttles_.filestore_ops.acquire(1);
+  co_await throttles_.filestore_bytes.acquire(jbytes);
+  co_await throttles_.journal_ops.acquire(1);
+  co_await journal_.reserve(jbytes);
+  replica_ops_++;
+  note_apply_queued(rep.oid);
+  sim::spawn(replica_journal_path(item.rep, item.conn, std::move(txn), jbytes));
+}
+
+sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
+                                            net::Connection* conn, fs::Transaction txn,
+                                            std::uint64_t bytes) {
+  co_await journal_.write_entry(bytes);
+  throttles_.journal_ops.release(1);
+  co_await dlog_.log(cfg_.log_entries_journal);
+
+  ApplyItem ai;
+  ai.txn = std::move(txn);
+  ai.journal_bytes = bytes;
+  ai.oid = rep->oid;
+  apply_q_.try_push(std::move(ai));
+
+  if (profile_.dedicated_completion) {
+    // AFCeph: send the commit ack straight from the completion context.
+    co_await charge_cpu(cfg_.oplock_cpu, false);
+    if (conn != nullptr) {
+      auto reply = std::make_shared<RepReplyMsg>();
+      reply->op_id = rep->op_id;
+      reply->pg = rep->pg;
+      net::Message wire;
+      wire.type = kRepReply;
+      wire.size = cfg_.reply_msg_bytes;
+      wire.body = std::move(reply);
+      conn->send(std::move(wire));
+    }
+  } else {
+    // Community: the commit notification is finisher work under the PG lock.
+    finisher_q_.try_push(
+        CompletionEvent{CompletionEvent::kRepCommitSend, nullptr, rep->pg, rep, conn});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Community events routed back through the OP_WQ
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::process_rep_reply_locked(WorkItem& item) {
+  co_await charge_cpu(cfg_.repreply_cpu, true);
+  item.op->commits_seen++;
+  item.op->stamp(kStRepAcked, sim_.now());
+  handle_commit_recorded(item.op);
+}
+
+sim::CoTask<void> Osd::process_ack_locked(WorkItem& item) {
+  co_await charge_cpu(cfg_.ack_cpu, true);
+  co_await dlog_.log(cfg_.log_entries_ack);
+  deliver_ack(item.op);
+}
+
+// ---------------------------------------------------------------------------
+// Completions
+// ---------------------------------------------------------------------------
+
+void Osd::handle_commit_recorded(OpRef& op) {
+  if (op->commits_seen >= op->commits_needed && !op->acked) {
+    op->acked = true;
+    if (profile_.fast_ack) {
+      fast_ack_now(op);
+    } else {
+      WorkItem item;
+      item.kind = WorkItem::kAckEvent;
+      item.pg = op->msg->pg;
+      item.op = op;
+      shard_push(std::move(item));  // the ack competes with data ops again
+    }
+  }
+}
+
+void Osd::fast_ack_now(OpRef op) {
+  sim::spawn_fn([this, op]() mutable -> sim::CoTask<void> {
+    co_await charge_cpu(cfg_.fast_ack_cpu, false);
+    deliver_ack(op);
+  });
+}
+
+sim::CoTask<void> Osd::finisher_loop() {
+  // Community Ceph: ONE finisher thread handles every journal and filestore
+  // completion, each needing the PG lock (§2.3: "a single thread handles all
+  // of the completion works ... and it also needs PG Lock").
+  for (;;) {
+    auto evt = co_await finisher_q_.pop();
+    if (!evt) break;
+    Pg* pg = find_pg(evt->pg);
+    if (pg == nullptr) continue;
+    co_await pg->lock().lock();
+    co_await charge_cpu(cfg_.commit_cpu, false);
+    switch (evt->kind) {
+      case CompletionEvent::kCommit:
+        evt->op->commits_seen++;
+        evt->op->stamp(kStCommitEvt, sim_.now());
+        handle_commit_recorded(evt->op);
+        break;
+      case CompletionEvent::kRepCommit:
+        evt->op->commits_seen++;
+        evt->op->stamp(kStRepAcked, sim_.now());
+        handle_commit_recorded(evt->op);
+        break;
+      case CompletionEvent::kApplied:
+        break;  // bookkeeping only
+      case CompletionEvent::kRepCommitSend: {
+        if (evt->conn != nullptr) {
+          auto reply = std::make_shared<RepReplyMsg>();
+          reply->op_id = evt->rep->op_id;
+          reply->pg = evt->rep->pg;
+          net::Message wire;
+          wire.type = kRepReply;
+          wire.size = cfg_.reply_msg_bytes;
+          wire.body = std::move(reply);
+          evt->conn->send(std::move(wire));
+        }
+        break;
+      }
+    }
+    pg->lock().unlock();
+  }
+}
+
+sim::CoTask<void> Osd::completion_worker_loop() {
+  // AFCeph Fig. 6: deferred completion work is drained in batches; no PG
+  // lock is taken — op ordering was already fixed when the op entered the
+  // PG's pending queue, and per-op status updates are OP-lock-scale work.
+  for (;;) {
+    auto first = co_await completion_q_.pop();
+    if (!first) break;
+    std::vector<CompletionEvent> batch{std::move(*first)};
+    while (batch.size() < cfg_.completion_batch_max && !completion_q_.empty()) {
+      auto more = co_await completion_q_.pop();
+      if (!more) break;
+      batch.push_back(std::move(*more));
+    }
+    co_await charge_cpu(
+        cfg_.completion_batch_overhead + cfg_.completion_batch_cpu * Time(batch.size()), false);
+    for (auto& evt : batch) {
+      switch (evt.kind) {
+        case CompletionEvent::kCommit:
+          evt.op->commits_seen++;
+          evt.op->stamp(kStCommitEvt, sim_.now());
+          handle_commit_recorded(evt.op);
+          break;
+        case CompletionEvent::kRepCommit:
+          handle_commit_recorded(evt.op);  // counted at dispatch already
+          break;
+        case CompletionEvent::kApplied:
+        case CompletionEvent::kRepCommitSend:
+          break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Filestore apply
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::apply_loop() {
+  for (;;) {
+    auto item = co_await apply_q_.pop();
+    if (!item) break;
+    // OpSequencer: a PG's transactions apply strictly in submission order.
+    ApplySeq& seq = apply_seq_[item->oid.pg];
+    if (seq.busy) {
+      seq.pending.push_back(std::move(*item));
+      continue;
+    }
+    seq.busy = true;
+    co_await do_apply(std::move(*item));
+    while (!seq.pending.empty()) {
+      ApplyItem next = std::move(seq.pending.front());
+      seq.pending.pop_front();
+      co_await do_apply(std::move(next));
+    }
+    seq.busy = false;
+  }
+}
+
+sim::CoTask<void> Osd::do_apply(ApplyItem item) {
+  co_await store_.apply_transaction(item.txn, profile_.light_transactions);
+  journal_.release(item.journal_bytes);
+  throttles_.filestore_ops.release(1);
+  throttles_.filestore_bytes.release(item.journal_bytes);
+  note_apply_done(item.oid);
+  if (item.op != nullptr) {
+    if (profile_.dedicated_completion) {
+      co_await charge_cpu(cfg_.oplock_cpu, false);
+    } else {
+      finisher_q_.try_push(
+          CompletionEvent{CompletionEvent::kApplied, item.op, item.op->msg->pg, {}, nullptr});
+    }
+  }
+}
+
+void Osd::note_apply_queued(const fs::ObjectId& oid) { pending_applies_[oid]++; }
+
+void Osd::note_apply_done(const fs::ObjectId& oid) {
+  auto it = pending_applies_.find(oid);
+  if (it == pending_applies_.end()) return;
+  if (--it->second == 0) {
+    pending_applies_.erase(it);
+    apply_gate_cv_.notify_all();
+  }
+}
+
+sim::CoTask<void> Osd::wait_object_readable(const fs::ObjectId& oid) {
+  while (pending_applies_.find(oid) != pending_applies_.end()) {
+    co_await apply_gate_cv_.wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+sim::CoTask<void> Osd::process_client_read(WorkItem& item) {
+  OpRef op = item.op;
+  ClientIoMsg& msg = *op->msg;
+
+  // Read-after-write consistency (ondisk_read_lock): wait for this
+  // object's journaled writes to reach the filestore.
+  co_await wait_object_readable(msg.oid);
+  co_await dlog_.log(cfg_.log_entries_read);
+  ObjectMeta meta = co_await ensure_object_meta(msg.oid);
+  co_await charge_cpu(cfg_.read_cpu, true);
+
+  auto reply = std::make_shared<IoReplyMsg>();
+  reply->op_id = msg.op_id;
+  reply->is_write = false;
+  reply->issued_at = msg.issued_at;
+  if (meta.exists) {
+    auto rr = co_await store_.read(msg.oid, msg.offset, msg.read_len, msg.want_data);
+    reply->ok = rr.found;
+    reply->data_len = rr.length;
+    reply->data = std::move(rr.data);
+  } else {
+    reply->ok = false;
+  }
+  client_reads_++;
+
+  throttles_.messages.release(1);
+  throttles_.message_bytes.release(msg.data.size() + 150);
+  inflight_.erase(msg.op_id);
+
+  net::Message wire;
+  wire.type = kReadReply;
+  wire.size = reply->data_len + cfg_.reply_msg_bytes;
+  wire.body = std::move(reply);
+  op->reply_conn->send(std::move(wire));
+}
+
+// ---------------------------------------------------------------------------
+// Ack delivery
+// ---------------------------------------------------------------------------
+
+void Osd::deliver_ack(OpRef op) {
+  if (!profile_.ordered_acks) {
+    send_reply_message(op);
+    return;
+  }
+  // §3.1: batched completions may complete ops out of client order; when the
+  // client asked for ordered acks, hold an ack until all earlier ops from
+  // that client (at this OSD) have been acked.
+  auto& st = ack_state_[op->msg->client_id];
+  st.held.emplace(op->msg->op_id, op);
+  while (!st.held.empty() && !st.outstanding.empty() &&
+         st.held.begin()->first == *st.outstanding.begin()) {
+    OpRef next = st.held.begin()->second;
+    st.held.erase(st.held.begin());
+    st.outstanding.erase(st.outstanding.begin());
+    send_reply_message(next);
+  }
+}
+
+void Osd::send_reply_message(OpRef& op) {
+  ClientIoMsg& msg = *op->msg;
+  op->stamp(kStAcked, sim_.now());
+  for (unsigned s = 1; s < kStageCount; s++) {
+    if (op->ts[s] >= op->ts[s - 1] && op->ts[s] != 0) {
+      stage_hist_[s].record(op->ts[s] - op->ts[s - 1]);
+    }
+  }
+  write_total_.record(op->ts[kStAcked] - op->ts[kStRecv]);
+
+  throttles_.messages.release(1);
+  throttles_.message_bytes.release(msg.data.size() + 150);
+  inflight_.erase(msg.op_id);
+
+  auto reply = std::make_shared<IoReplyMsg>();
+  reply->op_id = msg.op_id;
+  reply->is_write = true;
+  reply->issued_at = msg.issued_at;
+  net::Message wire;
+  wire.type = kWriteReply;
+  wire.size = cfg_.reply_msg_bytes;
+  wire.body = std::move(reply);
+  op->reply_conn->send(std::move(wire));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery / map changes
+// ---------------------------------------------------------------------------
+
+void Osd::set_pg_acting(std::uint32_t pgid, std::vector<std::uint32_t> acting) {
+  Pg* pg = find_pg(pgid);
+  if (pg == nullptr) {
+    create_pg(pgid, std::move(acting));
+  } else {
+    pg->set_acting(std::move(acting));
+  }
+}
+
+sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
+  std::uint64_t pushed = 0;
+  Pg* src_pg = find_pg(pgid);
+  for (const auto& oid : store_.objects_in_pg(pgid)) {
+    auto data = store_.export_object(oid);
+    std::uint64_t bytes = 0;
+    for (const auto& [off, payload] : data.extents) bytes += payload.size();
+    // Source read, wire transfer, then installation at the target.
+    if (bytes > 0) {
+      co_await store_.read(oid, 0, data.size, /*want_data=*/false);
+      co_await node_.nic_transmit(bytes + 512);
+      co_await sim::delay(sim_, 60 * kMicrosecond);
+    }
+    co_await target.recover_object(oid, std::move(data));
+    pushed++;
+  }
+  // Sync the version stream so the target can continue the PG log.
+  if (src_pg != nullptr) {
+    if (Pg* dst_pg = target.find_pg(pgid)) dst_pg->observe_version(src_pg->version());
+  }
+  co_return pushed;
+}
+
+sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
+                                      fs::FileStore::ObjectExport data) {
+  fs::Transaction txn;
+  for (auto& [off, payload] : data.extents) txn.write(oid, off, std::move(payload));
+  if (!data.xattrs.empty()) txn.setattrs(oid, std::move(data.xattrs));
+  co_await store_.apply_transaction(txn, /*lightweight=*/true);
+  ObjectMeta meta;
+  meta.exists = true;
+  meta.size = data.size;
+  meta_cache_.insert(oid, meta);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown & stats
+// ---------------------------------------------------------------------------
+
+void Osd::close() {
+  closing_ = true;
+  for (auto& q : shard_queues_) q->close();
+  finisher_q_.close();
+  completion_q_.close();
+  apply_q_.close();
+  dlog_.close();
+  journal_.close();
+  store_.close();
+  omap_.close();
+  msgr_.close_all();
+}
+
+std::uint64_t Osd::pending_defers() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, pg] : pgs_) total += pg->pending_defers;
+  return total;
+}
+
+Time Osd::pg_lock_wait_ns() const {
+  Time total = 0;
+  for (const auto& [id, pg] : pgs_) total += pg->lock().total_wait_ns();
+  return total;
+}
+
+std::uint64_t Osd::pg_lock_contended() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, pg] : pgs_) total += pg->lock().contended_acquisitions();
+  return total;
+}
+
+}  // namespace afc::osd

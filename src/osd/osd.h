@@ -1,0 +1,246 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "cluster/map.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "core/profile.h"
+#include "fs/filestore.h"
+#include "fs/journal.h"
+#include "osd/dout.h"
+#include "osd/meta_cache.h"
+#include "osd/op.h"
+#include "osd/pg.h"
+#include "osd/throttle_set.h"
+
+namespace afc::osd {
+
+/// Per-OSD tunables: thread counts and CPU costs of each pipeline stage.
+/// Costs marked "alloc-heavy" are multiplied by the allocator tax
+/// (tcmalloc ≈ 1.55x) unless the profile selects jemalloc.
+struct OsdConfig {
+  unsigned shards = 5;             // Ceph 0.94 osd_op_num_shards
+  unsigned workers_per_shard = 2;  // osd_op_num_threads_per_shard
+  unsigned apply_threads = 2;      // filestore op threads
+
+  Time dispatch_cpu = 45000;          // ns, message decode + PG mapping (alloc-heavy)
+  Time prepare_cpu = 110000;           // txn build/encode on the primary (alloc-heavy)
+  Time replica_prepare_cpu = 70000;   // (alloc-heavy)
+  Time commit_cpu = 15000;             // community finisher work per completion
+  Time oplock_cpu = 3000;             // AFCeph inline (OP-lock) completion work
+  Time completion_batch_cpu = 4000;   // AFCeph dedicated worker, per event
+  Time completion_batch_overhead = 5000;  // per batch
+  Time ack_cpu = 25000;               // community ack processing in OP_WQ (alloc-heavy)
+  Time fast_ack_cpu = 8000;
+  Time read_cpu = 90000;              // read service CPU (alloc-heavy)
+  Time repreply_cpu = 12000;
+
+  unsigned log_entries_dispatch = 18;
+  unsigned log_entries_replica = 8;
+  unsigned log_entries_journal = 5;
+  unsigned log_entries_ack = 8;
+  unsigned log_entries_read = 18;
+
+  unsigned pg_log_keep = 300;
+  unsigned pg_log_trim_every = 64;
+  std::uint64_t pg_log_entry_bytes = 180;  // paper: 12~729 bytes
+  std::uint64_t pg_info_bytes = 300;
+  std::uint64_t attr_oi_bytes = 250;  // "most object metadata under 270 bytes"
+  std::uint64_t attr_ss_bytes = 31;
+
+  unsigned completion_batch_max = 64;
+  std::uint64_t reply_msg_bytes = 150;
+  std::uint64_t repop_header_bytes = 256;
+};
+
+/// One Ceph OSD daemon: messenger dispatch → sharded OP_WQ → PG (lock or
+/// pending-queue) → journal (NVRAM) → filestore (SSD + LSM omap), with
+/// splay replication to peer OSDs. Every mechanism of the paper exists in
+/// both its community and its AFCeph form, selected by core::Profile:
+///
+///   PG path        : blocking PG lock  | pending queue (Fig. 5)
+///   completions    : single finisher under PG lock | OP-lock + batched
+///                    dedicated completion worker (Fig. 6)
+///   acks           : re-queued through OP_WQ | fast path
+///   logging        : blocking single-writer dout | non-blocking multi-writer
+///   transactions   : full op set + RMW metadata reads | light transactions
+///   throttles      : HDD defaults | SSD-sized
+class Osd : public net::Receiver {
+ public:
+  Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
+      dev::Device& data_dev, cluster::ClusterMap& cmap, std::uint32_t id,
+      const OsdConfig& cfg, const core::Profile& profile,
+      const fs::FileStore::Config& fs_cfg, const kv::Db::Config& kv_cfg,
+      const ThrottleSet::Config& throttle_cfg, DebugLog::Config log_cfg,
+      const fs::Journal::Config& journal_cfg);
+  ~Osd() override;
+  Osd(const Osd&) = delete;
+  Osd& operator=(const Osd&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  net::Messenger& messenger() { return msgr_; }
+  net::Node& node() { return node_; }
+  const core::Profile& profile() const { return profile_; }
+
+  /// Instantiate a PG this OSD serves (primary or replica).
+  void create_pg(std::uint32_t pgid, std::vector<std::uint32_t> acting);
+  Pg* find_pg(std::uint32_t pgid);
+
+  /// Record the connection to a peer OSD (cluster wiring).
+  void add_peer(std::uint32_t osd_id, net::Connection* conn);
+
+  sim::CoTask<void> on_message(net::Message m) override;
+
+  // --- recovery / map changes -------------------------------------------
+  /// Update a PG's acting set after a CRUSH map change (creates the PG if
+  /// this OSD just joined it).
+  void set_pg_acting(std::uint32_t pgid, std::vector<std::uint32_t> acting);
+  /// Re-replicate one PG's objects to `target` (backfill): charges source
+  /// reads, network transfer, and target writes.
+  sim::CoTask<std::uint64_t> push_pg(std::uint32_t pgid, Osd& target);
+  /// Install one recovered object (charged as a light apply).
+  sim::CoTask<void> recover_object(const fs::ObjectId& oid, fs::FileStore::ObjectExport data);
+
+  /// Close all internal queues so worker coroutines drain and exit.
+  void close();
+
+  // --- instrumentation -------------------------------------------------
+  fs::FileStore& store() { return store_; }
+  fs::Journal& journal() { return journal_; }
+  kv::Db& omap_db() { return omap_; }
+  DebugLog& dlog() { return dlog_; }
+  ThrottleSet& throttles() { return throttles_; }
+  MetaCache& meta_cache() { return meta_cache_; }
+  Counters& counters() { return counters_; }
+
+  const Histogram& stage_delta(unsigned stage) const { return stage_hist_[stage]; }
+  const Histogram& write_total_hist() const { return write_total_; }
+
+  std::uint64_t client_writes() const { return client_writes_; }
+  std::uint64_t client_reads() const { return client_reads_; }
+  std::uint64_t replica_ops() const { return replica_ops_; }
+  std::uint64_t pending_defers() const;
+  Time pg_lock_wait_ns() const;
+  std::uint64_t pg_lock_contended() const;
+
+ private:
+  // --- dispatch ---------------------------------------------------------
+  sim::CoTask<void> dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
+                                       net::Connection* conn);
+  sim::CoTask<void> dispatch_rep_reply(std::shared_ptr<RepReplyMsg> msg);
+  void shard_push(WorkItem item);
+
+  // --- OP_WQ ------------------------------------------------------------
+  sim::CoTask<void> worker_loop(unsigned shard);
+  sim::CoTask<void> run_item_community(WorkItem item);
+  sim::CoTask<void> run_item_pending_queue(WorkItem item);
+  sim::CoTask<void> process_item(WorkItem& item);  // inside PG critical section
+  sim::CoTask<void> process_client_write(WorkItem& item);
+  sim::CoTask<void> process_client_read(WorkItem& item);
+  sim::CoTask<void> process_replica_op(WorkItem& item);
+  sim::CoTask<void> process_rep_reply_locked(WorkItem& item);  // community
+  sim::CoTask<void> process_ack_locked(WorkItem& item);        // community
+
+  // --- metadata ---------------------------------------------------------
+  sim::CoTask<ObjectMeta> ensure_object_meta(const fs::ObjectId& oid);
+
+  // --- journal & completions --------------------------------------------
+  struct CompletionEvent {
+    enum Kind {
+      kCommit,         // primary local journal commit
+      kApplied,        // filestore apply finished
+      kRepCommit,      // replica commit ack arrived at the primary
+      kRepCommitSend,  // replica side: send the commit ack to the primary
+    } kind;
+    OpRef op;
+    std::uint32_t pg;
+    std::shared_ptr<RepOpMsg> rep;
+    net::Connection* conn;
+  };
+  sim::CoTask<void> journal_path(OpRef op);
+  sim::CoTask<void> replica_journal_path(std::shared_ptr<RepOpMsg> rep,
+                                         net::Connection* conn, fs::Transaction txn,
+                                         std::uint64_t bytes);
+  sim::CoTask<void> finisher_loop();           // community: one, PG lock per event
+  sim::CoTask<void> completion_worker_loop();  // AFCeph: batched, no PG lock
+  void handle_commit_recorded(OpRef& op);      // common bookkeeping
+  sim::CoTask<void> queue_ack(OpRef op);       // community path
+  void fast_ack_now(OpRef op);
+
+  // --- filestore apply ---------------------------------------------------
+  struct ApplyItem {
+    fs::Transaction txn;
+    std::uint64_t journal_bytes = 0;
+    OpRef op;          // null for replica ops
+    fs::ObjectId oid;  // for the ondisk-read gate
+  };
+  sim::CoTask<void> apply_loop();
+  sim::CoTask<void> do_apply(ApplyItem item);
+
+  /// Ceph's ondisk_read_lock: a read of an object waits until the object's
+  /// in-flight (journaled but not yet applied) writes reach the filestore.
+  void note_apply_queued(const fs::ObjectId& oid);
+  void note_apply_done(const fs::ObjectId& oid);
+  sim::CoTask<void> wait_object_readable(const fs::ObjectId& oid);
+
+  // --- ack delivery -------------------------------------------------------
+  void deliver_ack(OpRef op);
+  void send_reply_message(OpRef& op);
+
+  sim::CoTask<void> charge_cpu(Time cost, bool alloc_heavy);
+
+  sim::Simulation& sim_;
+  net::Node& node_;
+  cluster::ClusterMap& cmap_;
+  std::uint32_t id_;
+  OsdConfig cfg_;
+  core::Profile profile_;
+  Counters counters_;
+
+  net::Messenger msgr_;
+  ThrottleSet throttles_;
+  DebugLog dlog_;
+  kv::Db omap_;
+  fs::FileStore store_;
+  fs::Journal journal_;
+  MetaCache meta_cache_;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Pg>> pgs_;
+  std::unordered_map<std::uint32_t, net::Connection*> peers_;
+  std::vector<std::unique_ptr<sim::Channel<WorkItem>>> shard_queues_;
+  sim::Channel<CompletionEvent> finisher_q_;
+  sim::Channel<CompletionEvent> completion_q_;
+  sim::Channel<ApplyItem> apply_q_;
+
+  std::unordered_map<std::uint64_t, OpRef> inflight_;
+  std::unordered_map<fs::ObjectId, unsigned, fs::ObjectIdHash> pending_applies_;
+  sim::CondVar apply_gate_cv_{sim_};
+  /// Per-PG apply sequencing (Ceph's OpSequencer): applies of one PG run
+  /// in submission order even with multiple filestore op threads.
+  struct ApplySeq {
+    bool busy = false;
+    std::deque<ApplyItem> pending;
+  };
+  std::unordered_map<std::uint32_t, ApplySeq> apply_seq_;
+
+  // Ordered-ack delivery (per client): op ids outstanding and acks held
+  // back until their predecessors complete.
+  struct ClientAckState {
+    std::set<std::uint64_t> outstanding;
+    std::map<std::uint64_t, OpRef> held;
+  };
+  std::unordered_map<std::uint64_t, ClientAckState> ack_state_;
+
+  Histogram stage_hist_[kStageCount];
+  Histogram write_total_;
+  std::uint64_t client_writes_ = 0;
+  std::uint64_t client_reads_ = 0;
+  std::uint64_t replica_ops_ = 0;
+  bool closing_ = false;
+};
+
+}  // namespace afc::osd

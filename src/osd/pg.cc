@@ -1,0 +1,20 @@
+#include "osd/pg.h"
+
+#include <cstdio>
+
+namespace afc::osd {
+
+std::string Pg::log_key(std::uint64_t version) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "pglog.%08x.%012llu", id_,
+                static_cast<unsigned long long>(version));
+  return buf;
+}
+
+std::string Pg::info_key() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pginfo.%08x", id_);
+  return buf;
+}
+
+}  // namespace afc::osd

@@ -1,0 +1,4 @@
+#include "osd/throttle_set.h"
+
+// ThrottleSet is header-only; this TU keeps the module list uniform.
+namespace afc::osd {}

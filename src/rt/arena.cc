@@ -1,0 +1,109 @@
+#include "rt/arena.h"
+
+#include <unordered_map>
+
+namespace afc::rt {
+
+namespace {
+std::atomic<std::uint64_t> g_next_arena_id{1};
+thread_local std::unordered_map<std::uint64_t, Arena::ThreadCache*>* tl_caches = nullptr;
+}  // namespace
+
+std::uint64_t Arena::next_id() {
+  return g_next_arena_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Arena::~Arena() {
+  for (ThreadCache* tc : caches_) delete tc;
+  for (void* slab : slabs_) ::operator delete(slab);
+}
+
+Arena::ThreadCache& Arena::cache() {
+  if (tl_caches == nullptr) {
+    static thread_local std::unordered_map<std::uint64_t, ThreadCache*> storage;
+    tl_caches = &storage;
+  }
+  auto it = tl_caches->find(id_);
+  if (it != tl_caches->end()) return *it->second;
+  auto* tc = new ThreadCache();
+  {
+    std::lock_guard lk(caches_mu_);
+    caches_.push_back(tc);
+  }
+  tl_caches->emplace(id_, tc);
+  return *tc;
+}
+
+void* Arena::carve(std::size_t cls) {
+  const std::size_t bytes = (cls + 1) * kGranule;
+  if (slab_left_ < bytes) {
+    auto* slab = static_cast<unsigned char*>(::operator new(kSlabBytes));
+    slabs_.push_back(slab);
+    slab_cursor_ = slab;
+    slab_left_ = kSlabBytes;
+    slab_bytes_.fetch_add(kSlabBytes, std::memory_order_relaxed);
+  }
+  void* p = slab_cursor_;
+  slab_cursor_ += bytes;
+  slab_left_ -= bytes;
+  return p;
+}
+
+void Arena::refill(ThreadCache& tc, std::size_t cls) {
+  std::lock_guard lk(central_mu_);
+  refills_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kRefillBatch; i++) {
+    FreeNode* node;
+    if (central_[cls] != nullptr) {
+      node = central_[cls];
+      central_[cls] = node->next;
+    } else {
+      node = static_cast<FreeNode*>(carve(cls));
+    }
+    node->next = tc.lists[cls];
+    tc.lists[cls] = node;
+    tc.counts[cls]++;
+  }
+}
+
+void Arena::flush(ThreadCache& tc, std::size_t cls) {
+  std::lock_guard lk(central_mu_);
+  // Return half the cache to the central list.
+  for (std::size_t i = 0; i < kFlushAt / 2; i++) {
+    FreeNode* node = tc.lists[cls];
+    tc.lists[cls] = node->next;
+    tc.counts[cls]--;
+    node->next = central_[cls];
+    central_[cls] = node;
+  }
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxSmall) return ::operator new(bytes);
+  const std::size_t cls = class_of(bytes);
+  ThreadCache& tc = cache();
+  if (tc.lists[cls] == nullptr) refill(tc, cls);
+  FreeNode* node = tc.lists[cls];
+  tc.lists[cls] = node->next;
+  tc.counts[cls]--;
+  return node;
+}
+
+void Arena::deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxSmall) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t cls = class_of(bytes);
+  ThreadCache& tc = cache();
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = tc.lists[cls];
+  tc.lists[cls] = node;
+  tc.counts[cls]++;
+  if (tc.counts[cls] >= kFlushAt) flush(tc, cls);
+}
+
+}  // namespace afc::rt

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace afc::rt {
+
+/// Thread-caching slab allocator in the jemalloc mould — the real-threads
+/// counterpart of the paper's §3.2 allocator observation ("small random
+/// workloads need more responsiveness and parallelism for memory handling").
+///
+/// Design (deliberately jemalloc-shaped, scaled down):
+///  * size classes at 16-byte granularity up to 4 KiB; larger requests fall
+///    through to ::operator new;
+///  * each thread owns a cache of free runs per class (allocation fast path
+///    is lock-free: pop from the thread-local list);
+///  * when a thread cache is empty it refills a batch from the shared
+///    central arena under one mutex (amortized), and flushes back when a
+///    class's cache grows too large — so cross-thread free() traffic does
+///    not thrash a global lock;
+///  * memory is carved from 64 KiB slabs; slabs live until the arena dies
+///    (no page reclaim — benchmark-scoped allocator).
+///
+/// Thread-safe: allocate/deallocate from any thread, including frees of
+/// blocks allocated by other threads.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes);
+
+  /// Bytes carved from the OS so far.
+  std::uint64_t slab_bytes() const { return slab_bytes_.load(std::memory_order_relaxed); }
+  std::uint64_t central_refills() const { return refills_.load(std::memory_order_relaxed); }
+
+  static constexpr std::size_t kGranule = 16;
+  static constexpr std::size_t kMaxSmall = 4096;
+  static constexpr std::size_t kClasses = kMaxSmall / kGranule;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+  static constexpr std::size_t kRefillBatch = 32;
+  static constexpr std::size_t kFlushAt = 128;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct ThreadCache {
+    FreeNode* lists[kClasses] = {};
+    std::size_t counts[kClasses] = {};
+  };
+
+ private:
+
+  static std::size_t class_of(std::size_t bytes) { return (bytes + kGranule - 1) / kGranule - 1; }
+  ThreadCache& cache();
+  void refill(ThreadCache& tc, std::size_t cls);
+  void flush(ThreadCache& tc, std::size_t cls);
+  void* carve(std::size_t cls);
+
+  std::mutex central_mu_;
+  FreeNode* central_[kClasses] = {};
+  std::vector<void*> slabs_;
+  unsigned char* slab_cursor_ = nullptr;
+  std::size_t slab_left_ = 0;
+  std::atomic<std::uint64_t> slab_bytes_{0};
+  std::atomic<std::uint64_t> refills_{0};
+
+  // Registry of per-thread caches (flushing back on arena destruction is
+  // NOT needed — slabs own all memory; caches only hold pointers into
+  // slabs).
+  std::mutex caches_mu_;
+  std::vector<ThreadCache*> caches_;
+
+  // Process-unique id: thread-local caches are keyed by it so a recycled
+  // Arena address can never alias a dead arena's cache.
+  const std::uint64_t id_ = next_id();
+  static std::uint64_t next_id();
+};
+
+}  // namespace afc::rt

@@ -1,0 +1,92 @@
+#include "rt/async_logger.h"
+
+namespace afc::rt {
+
+AsyncLogger::AsyncLogger(const Config& cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity), ring_(cfg.ring_entries) {
+  const unsigned writers = cfg_.nonblocking ? cfg_.writer_threads : 1;
+  writers_.reserve(writers);
+  for (unsigned i = 0; i < writers; i++) {
+    writers_.emplace_back([this] { writer_main(); });
+  }
+}
+
+AsyncLogger::~AsyncLogger() { shutdown(); }
+
+std::string AsyncLogger::format(std::string_view tmpl, std::uint64_t value) const {
+  std::string out;
+  out.reserve(tmpl.size() + 24);
+  out.append(tmpl);
+  out.push_back(' ');
+  out.append(std::to_string(value));
+  return out;
+}
+
+void AsyncLogger::log(std::string_view tmpl, std::uint64_t value) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Entry e;
+  e.value = value;
+  if (cfg_.nonblocking) {
+    if (cfg_.use_log_cache) {
+      std::lock_guard lk(pool_mu_);
+      InternPool::Id id;
+      if (pool_.find(tmpl, id)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        e.tmpl = id;
+      } else {
+        e.tmpl = pool_.intern(tmpl);
+      }
+    } else {
+      e.formatted = format(tmpl, value);
+    }
+    if (!queue_.try_push(std::move(e))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Blocking (community) path: format inline, wait for handoff space.
+  e.formatted = format(tmpl, value);
+  if (!queue_.push(std::move(e))) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AsyncLogger::writer_main() {
+  for (;;) {
+    auto e = queue_.pop();
+    if (!e) break;
+    std::string line;
+    if (!e->formatted.empty()) {
+      line = std::move(e->formatted);
+    } else {
+      std::lock_guard lk(pool_mu_);
+      line = format(pool_.lookup(e->tmpl), e->value);
+    }
+    {
+      std::lock_guard lk(ring_mu_);
+      ring_[ring_pos_ % ring_.size()] = std::move(line);
+      ring_pos_++;
+    }
+    written_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AsyncLogger::shutdown() {
+  queue_.close();
+  for (auto& w : writers_) {
+    if (w.joinable()) w.join();
+  }
+  writers_.clear();
+}
+
+std::vector<std::string> AsyncLogger::recent(std::size_t n) const {
+  std::lock_guard lk(ring_mu_);
+  std::vector<std::string> out;
+  const std::size_t total = std::min(n, std::min(ring_pos_, ring_.size()));
+  for (std::size_t i = 0; i < total; i++) {
+    out.push_back(ring_[(ring_pos_ - 1 - i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace afc::rt

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/interned.h"
+#include "rt/mpmc_queue.h"
+
+namespace afc::rt {
+
+/// Real-threads dout (§3.3). Blocking mode reproduces community Ceph: the
+/// calling thread formats the entry and hands it through a small bounded
+/// queue to ONE writer thread — under load producers wait on the queue.
+/// Non-blocking mode is the AFCeph design: submission is a try-push that
+/// never waits (overflow entries are dropped and counted), several writer
+/// threads drain in parallel, and the intern pool is the log cache that
+/// collapses repeated-template formatting into a lookup.
+class AsyncLogger {
+ public:
+  struct Config {
+    bool nonblocking = false;
+    unsigned writer_threads = 1;
+    std::size_t queue_capacity = 64;  // community: tiny handoff window
+    std::size_t ring_entries = 8192;  // in-memory destination ring
+    bool use_log_cache = false;
+  };
+
+  explicit AsyncLogger(const Config& cfg);
+  ~AsyncLogger();
+  AsyncLogger(const AsyncLogger&) = delete;
+  AsyncLogger& operator=(const AsyncLogger&) = delete;
+
+  /// Emit one entry built from a template and a value (the argument mimics
+  /// the dynamic part of a dout line).
+  void log(std::string_view tmpl, std::uint64_t value);
+
+  /// Stop writers after draining.
+  void shutdown();
+
+  std::uint64_t submitted() const { return submitted_.load(); }
+  std::uint64_t dropped() const { return dropped_.load(); }
+  std::uint64_t written() const { return written_.load(); }
+  std::uint64_t cache_hits() const { return cache_hits_.load(); }
+
+  /// Snapshot of the most recent in-memory entries (test inspection).
+  std::vector<std::string> recent(std::size_t n) const;
+
+ private:
+  struct Entry {
+    InternPool::Id tmpl = 0;
+    std::uint64_t value = 0;
+    std::string formatted;  // blocking mode formats inline
+  };
+
+  void writer_main();
+  std::string format(std::string_view tmpl, std::uint64_t value) const;
+
+  Config cfg_;
+  InternPool pool_;
+  mutable std::mutex pool_mu_;
+  MpmcQueue<Entry> queue_;
+  std::vector<std::thread> writers_;
+
+  mutable std::mutex ring_mu_;
+  std::vector<std::string> ring_;
+  std::size_t ring_pos_ = 0;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+};
+
+}  // namespace afc::rt

@@ -1,0 +1,45 @@
+#include "rt/completion_batcher.h"
+
+namespace afc::rt {
+
+CompletionBatcher::CompletionBatcher(Callback cb, std::size_t queue_capacity)
+    : cb_(std::move(cb)), queue_(queue_capacity), worker_([this] { worker_main(); }) {}
+
+CompletionBatcher::~CompletionBatcher() { shutdown(); }
+
+bool CompletionBatcher::submit(std::uint64_t key, std::uint64_t value) {
+  if (!queue_.try_push({key, value})) return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void CompletionBatcher::worker_main() {
+  for (;;) {
+    auto first = queue_.pop();
+    if (!first) break;
+    // Drain everything currently queued into one round.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> by_key;
+    by_key[first->first].push_back(first->second);
+    std::uint64_t batch = 1;
+    while (auto more = queue_.try_pop()) {
+      by_key[more->first].push_back(more->second);
+      batch++;
+    }
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+    while (batch > prev &&
+           !max_batch_.compare_exchange_weak(prev, batch, std::memory_order_relaxed)) {
+    }
+    for (const auto& [key, values] : by_key) {
+      cb_(key, values);
+      callbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CompletionBatcher::shutdown() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace afc::rt

@@ -1,0 +1,4 @@
+#include "rt/mpmc_queue.h"
+
+// Header-only templates; this TU keeps the module list uniform.
+namespace afc::rt {}

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace afc::rt {
+
+/// Bounded multi-producer multi-consumer queue (mutex + condvars): the
+/// baseline thread-handoff primitive for the real-threads implementations
+/// of the paper's mechanisms.
+template <class T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocking push; returns false if the queue was closed.
+  bool push(T v) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || capacity_ == 0 || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T v) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || (capacity_ != 0 && q_.size() >= capacity_)) return false;
+      q_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt when closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Lock-free single-producer single-consumer ring (power-of-two capacity).
+/// Used by the non-blocking logger's per-thread submission lanes.
+template <class T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2) : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    static_assert(std::is_nothrow_move_assignable_v<T>);
+  }
+
+  bool try_push(T v) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= buf_.size()) return false;
+    buf_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T v = std::move(buf_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+  std::size_t size() const {
+    return std::size_t(head_.load(std::memory_order_acquire) -
+                       tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::uint64_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace afc::rt

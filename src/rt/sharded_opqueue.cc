@@ -1,0 +1,4 @@
+#include "rt/sharded_opqueue.h"
+
+// Header-only template; this TU keeps the module list uniform.
+namespace afc::rt {}

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace afc::rt {
+
+/// Real-threads implementation of the paper's §3.1 OP_WQ: ops are hashed to
+/// shards by key (PG id); each shard has worker threads popping ops. A key
+/// is *busy* from pop to complete(key), modelling the PG lock.
+///
+/// Two modes, matching paper Fig. 5:
+///  * community (pending_queue=false): pop() hands out the queue head only
+///    once its key is free — a busy head blocks every worker on the shard
+///    (head-of-line blocking);
+///  * AFCeph (pending_queue=true): ops whose key is busy are parked on the
+///    key's pending queue and the worker immediately serves the next op;
+///    complete(key) promotes the parked op to the front of the shard queue,
+///    preserving per-key FIFO order.
+template <class Op>
+class ShardedOpQueue {
+ public:
+  ShardedOpQueue(unsigned shards, bool pending_queue)
+      : pending_mode_(pending_queue), shards_(shards) {}
+
+  void submit(std::uint64_t key, Op op) {
+    Shard& s = shard_of(key);
+    {
+      std::lock_guard lk(s.mu);
+      if (s.closed) return;
+      KeyState& ks = s.keys[key];
+      if (pending_mode_ && ks.busy) {
+        ks.pending.push_back(std::move(op));
+        deferred_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      s.ready.push_back(Item{key, std::move(op)});
+    }
+    s.cv.notify_one();
+  }
+
+  struct Claimed {
+    std::uint64_t key;
+    Op op;
+  };
+
+  /// Blocking pop for a worker bound to `shard`; nullopt when closed and
+  /// drained. The claimed key is busy until complete(key).
+  std::optional<Claimed> pop(unsigned shard) {
+    Shard& s = shards_[shard];
+    std::unique_lock lk(s.mu);
+    for (;;) {
+      if (pending_mode_) {
+        s.cv.wait(lk, [&] { return s.closed || !s.ready.empty(); });
+        if (s.ready.empty()) return std::nullopt;
+        Item it = std::move(s.ready.front());
+        s.ready.pop_front();
+        KeyState& ks = s.keys[it.key];
+        if (ks.busy) {
+          // Raced with another submit/complete: park it.
+          ks.pending.push_back(std::move(it.op));
+          deferred_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ks.busy = true;
+        return Claimed{it.key, std::move(it.op)};
+      }
+      // Community mode: wait until the head exists AND its key is free —
+      // a busy head stalls this worker even if later ops are serviceable.
+      if (!s.ready.empty() && s.keys[s.ready.front().key].busy) {
+        hol_blocks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      s.cv.wait(lk, [&] {
+        return s.closed || (!s.ready.empty() && !s.keys[s.ready.front().key].busy);
+      });
+      if (s.ready.empty() || s.keys[s.ready.front().key].busy) return std::nullopt;
+      Item it = std::move(s.ready.front());
+      s.ready.pop_front();
+      s.keys[it.key].busy = true;
+      return Claimed{it.key, std::move(it.op)};
+    }
+  }
+
+  /// Release the key claimed by pop(); promotes a parked op if any.
+  void complete(std::uint64_t key) {
+    Shard& s = shard_of(key);
+    {
+      std::lock_guard lk(s.mu);
+      KeyState& ks = s.keys[key];
+      if (pending_mode_ && !ks.pending.empty()) {
+        // Hand the key straight to its next op, at the front for fairness.
+        s.ready.push_front(Item{key, std::move(ks.pending.front())});
+        ks.pending.pop_front();
+        ks.busy = false;
+      } else {
+        ks.busy = false;
+      }
+    }
+    s.cv.notify_all();
+  }
+
+  void close() {
+    for (auto& s : shards_) {
+      {
+        std::lock_guard lk(s.mu);
+        s.closed = true;
+      }
+      s.cv.notify_all();
+    }
+  }
+
+  unsigned shard_count() const { return unsigned(shards_.size()); }
+  std::uint64_t deferred() const { return deferred_.load(std::memory_order_relaxed); }
+  std::uint64_t hol_blocks() const { return hol_blocks_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Item {
+    std::uint64_t key;
+    Op op;
+  };
+  struct KeyState {
+    bool busy = false;
+    std::deque<Op> pending;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Item> ready;
+    std::unordered_map<std::uint64_t, KeyState> keys;
+    bool closed = false;
+  };
+
+  Shard& shard_of(std::uint64_t key) { return shards_[key % shards_.size()]; }
+
+  bool pending_mode_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> hol_blocks_{0};
+};
+
+}  // namespace afc::rt

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace afc::rt {
+
+/// Real-threads weighted throttle, the §3.2 primitive
+/// (filestore_queue_max_ops / osd_client_message_cap): blocking FIFO-fair
+/// acquire of `n` units against a runtime-adjustable capacity.
+class Throttle {
+ public:
+  explicit Throttle(std::uint64_t capacity);
+
+  /// Block until `n` units are available. Returns false if shut down.
+  bool acquire(std::uint64_t n = 1);
+  bool try_acquire(std::uint64_t n = 1);
+  void release(std::uint64_t n = 1);
+
+  /// Re-tune capacity at runtime (the paper's SSD re-sizing); growth wakes
+  /// waiters immediately.
+  void set_capacity(std::uint64_t capacity);
+  void shutdown();
+
+  std::uint64_t capacity() const;
+  std::uint64_t in_use() const;
+  std::uint64_t blocked_acquires() const { return blocked_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_ticket_ = 0;   // FIFO fairness
+  std::uint64_t serving_ticket_ = 0;
+  bool shutdown_ = false;
+  std::atomic<std::uint64_t> blocked_{0};
+};
+
+}  // namespace afc::rt

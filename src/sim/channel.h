@@ -1,0 +1,93 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace afc::sim {
+
+/// Bounded FIFO channel between simulated coroutines — the model for every
+/// thread-handoff queue in the OSD (PG queues, journal queue, filestore op
+/// queue, logger queue). capacity 0 means unbounded. pop() returns nullopt
+/// once the channel is closed and drained, which is how worker coroutines
+/// shut down cleanly at the end of a run.
+template <class T>
+class Channel {
+ public:
+  Channel(Simulation& sim, std::size_t capacity = 0)
+      : capacity_(capacity), not_empty_(sim), not_full_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking push (suspends while full). Pushing to a closed channel is a
+  /// programming error and aborts.
+  CoTask<void> push(T v) {
+    while (capacity_ != 0 && q_.size() >= capacity_ && !closed_) {
+      blocked_pushes_++;
+      co_await not_full_.wait();
+    }
+    if (closed_) std::abort();
+    q_.push_back(std::move(v));
+    pushes_++;
+    if (std::size_t(q_.size()) > max_depth_) max_depth_ = q_.size();
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T v) {
+    if (closed_) return false;
+    if (capacity_ != 0 && q_.size() >= capacity_) return false;
+    q_.push_back(std::move(v));
+    pushes_++;
+    if (std::size_t(q_.size()) > max_depth_) max_depth_ = q_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt when closed and empty.
+  CoTask<std::optional<T>> pop() {
+    while (q_.empty() && !closed_) co_await not_empty_.wait();
+    if (q_.empty()) co_return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    co_return std::optional<T>(std::move(v));
+  }
+
+  /// Drain everything currently queued without blocking.
+  std::deque<T> drain() {
+    std::deque<T> out;
+    out.swap(q_);
+    not_full_.notify_all();
+    return out;
+  }
+
+  void close() {
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t total_pushes() const { return pushes_; }
+  std::uint64_t blocked_pushes() const { return blocked_pushes_; }
+  std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+  bool closed_ = false;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t blocked_pushes_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace afc::sim

@@ -1,0 +1,4 @@
+#include "sim/cpu.h"
+
+// CpuPool is header-only (hot path); this TU keeps the module list uniform.
+namespace afc::sim {}

@@ -1,0 +1,36 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace afc::sim {
+
+void Simulation::schedule_at(Time t, EventFn fn) {
+  if (t < now_) t = now_;
+  events_.push(Event{t, seq_++, std::move(fn)});
+}
+
+bool Simulation::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately and never re-heapify the moved-from element.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.t;
+  executed_++;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+bool Simulation::run_until(Time t) {
+  while (!events_.empty() && events_.top().t <= t) step();
+  if (events_.empty()) return false;
+  now_ = t;
+  return true;
+}
+
+}  // namespace afc::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <new>
+#include <queue>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace afc::sim {
+
+/// Fixed-size, trivially-copyable callback for simulator events. Events run
+/// millions of times per simulated second; std::function would heap-allocate
+/// for most captures. All event lambdas in the simulator capture at most a
+/// few pointers/integers, which this stores inline.
+class EventFn {
+ public:
+  template <class F>
+  EventFn(F f) {  // NOLINT(google-explicit-constructor): callsite ergonomics
+    static_assert(sizeof(F) <= kInlineSize, "event capture too large — shrink it");
+    static_assert(std::is_trivially_destructible_v<F> && std::is_trivially_copyable_v<F>,
+                  "event captures must be trivial (pointers/handles/ints)");
+    new (buf_) F(std::move(f));
+    call_ = [](void* p) { (*static_cast<F*>(p))(); };
+  }
+
+  void operator()() { call_(buf_); }
+
+ private:
+  static constexpr std::size_t kInlineSize = 48;
+  alignas(16) unsigned char buf_[kInlineSize];
+  void (*call_)(void*);
+};
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// All concurrency in the simulated storage cluster is expressed as C++20
+/// coroutines (see task.h / sync.h) whose suspensions and resumptions funnel
+/// through this event queue. Events with equal timestamps run in insertion
+/// order (FIFO tie-break), which makes simulated mutexes and queues fair and
+/// runs bit-reproducible for a given seed.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `t` (clamped to now()).
+  void schedule_at(Time t, EventFn fn);
+
+  /// Schedule `fn` to run `delay` ns from now.
+  void schedule_after(Time delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run events with timestamp <= `t`; afterwards now() == t (if any events
+  /// remained) and later events stay queued. Returns false if the queue
+  /// drained before reaching `t`.
+  bool run_until(Time t);
+
+  /// Execute exactly one event if available. Returns false on empty queue.
+  bool step();
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending_events() const { return events_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace afc::sim

@@ -1,0 +1,85 @@
+#include "sim/sync.h"
+
+namespace afc::sim {
+
+void CondVar::notify_one() {
+  if (waiters_.empty()) return;
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  sim_.schedule_after(0, [h] { h.resume(); });
+}
+
+void CondVar::notify_all() {
+  while (!waiters_.empty()) notify_one();
+}
+
+bool Mutex::try_lock() {
+  if (locked_) return false;
+  locked_ = true;
+  acquisitions_++;
+  return true;
+}
+
+void Mutex::unlock() {
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  // FIFO ownership handoff: the lock stays held and the next waiter resumes
+  // as the owner on the next event-loop turn.
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  acquisitions_++;
+  sim_.schedule_after(0, [h] { h.resume(); });
+}
+
+bool Semaphore::try_acquire(std::uint64_t n) {
+  if (!waiters_.empty() || available_ < n) return false;
+  acquires_++;
+  available_ -= n;
+  return true;
+}
+
+void Semaphore::release(std::uint64_t n) {
+  available_ += n;
+  // After a capacity shrink, in-use units can exceed the new capacity;
+  // their release must not over-credit the pool.
+  if (available_ > capacity_) available_ = capacity_;
+  dispatch_waiters();
+}
+
+void Semaphore::set_capacity(std::uint64_t cap) {
+  if (cap >= capacity_) {
+    available_ += cap - capacity_;
+  } else {
+    const std::uint64_t cut = capacity_ - cap;
+    available_ = available_ > cut ? available_ - cut : 0;
+  }
+  capacity_ = cap;
+  dispatch_waiters();
+}
+
+void Semaphore::dispatch_waiters() {
+  while (!waiters_.empty() && waiters_.front()->n_ <= available_) {
+    Acquire* w = waiters_.front();
+    waiters_.pop_front();
+    available_ -= w->n_;
+    const auto h = w->handle_;
+    // Resume through the event queue: `w` lives on the suspended coroutine's
+    // frame and stays valid until that coroutine runs.
+    sim_.schedule_after(0, [h] { h.resume(); });
+  }
+}
+
+void WaitGroup::done() {
+  if (outstanding_ > 0) {
+    outstanding_--;
+    if (outstanding_ == 0) cv_.notify_all();
+  }
+}
+
+CoTask<void> WaitGroup::wait() {
+  while (outstanding_ > 0) co_await cv_.wait();
+}
+
+}  // namespace afc::sim

@@ -1,0 +1,246 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace afc::sim {
+
+/// Condition variable for simulated coroutines. Because the simulator is
+/// single-threaded and resumptions go through the event queue, no mutex is
+/// needed: callers re-check their predicate in a `while` loop and notify
+/// *after* mutating state, which rules out lost wakeups.
+class CondVar {
+ public:
+  explicit CondVar(Simulation& sim) : sim_(sim) {}
+
+  class Waiter {
+   public:
+    explicit Waiter(CondVar& cv) : cv_(cv) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { cv_.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+
+   private:
+    CondVar& cv_;
+  };
+
+  /// Suspend until notified (spurious wakeups possible; re-check predicate).
+  Waiter wait() { return Waiter(*this); }
+
+  void notify_one();
+  void notify_all();
+
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  friend class Waiter;
+  Simulation& sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO mutex for simulated coroutines, with contention statistics: the
+/// placement-group lock of the paper is one of these, and Fig. 3's
+/// "PG-lock wait" measurements are read straight from these counters.
+class Mutex {
+ public:
+  explicit Mutex(Simulation& sim) : sim_(sim) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  class Locker {
+   public:
+    Locker(Mutex& m) : m_(m) {}
+    bool await_ready() {
+      if (!m_.locked_) {
+        m_.locked_ = true;
+        m_.acquisitions_++;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      t0_ = m_.sim_.now();
+      m_.contended_++;
+      m_.waiters_.push_back(h);
+    }
+    void await_resume() {
+      // On the contended path ownership was transferred by unlock();
+      // account the time we spent queued.
+      if (t0_ != kNoWait) m_.total_wait_ns_ += m_.sim_.now() - t0_;
+    }
+
+   private:
+    static constexpr Time kNoWait = ~Time(0);
+    Mutex& m_;
+    Time t0_ = kNoWait;
+  };
+
+  /// `co_await mutex.lock()`. FIFO handoff: unlock passes ownership to the
+  /// longest-waiting coroutine.
+  Locker lock() { return Locker(*this); }
+
+  /// Non-blocking acquire; returns true on success.
+  bool try_lock();
+
+  void unlock();
+
+  bool is_locked() const { return locked_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  // Contention statistics (virtual-time).
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t contended_acquisitions() const { return contended_; }
+  Time total_wait_ns() const { return total_wait_ns_; }
+
+ private:
+  friend class Locker;
+  Simulation& sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+  Time total_wait_ns_ = 0;
+};
+
+/// RAII guard for sim::Mutex. Acquire with `co_await`:
+///   auto g = co_await ScopedLock::acquire(mutex);
+class ScopedLock {
+ public:
+  static CoTask<ScopedLock> acquire(Mutex& m) {
+    co_await m.lock();
+    co_return ScopedLock(&m);
+  }
+  ScopedLock(ScopedLock&& o) noexcept : m_(std::exchange(o.m_, nullptr)) {}
+  ScopedLock& operator=(ScopedLock&& o) noexcept {
+    if (this != &o) {
+      release();
+      m_ = std::exchange(o.m_, nullptr);
+    }
+    return *this;
+  }
+  ~ScopedLock() { release(); }
+  void release() {
+    if (m_) {
+      m_->unlock();
+      m_ = nullptr;
+    }
+  }
+
+ private:
+  explicit ScopedLock(Mutex* m) : m_(m) {}
+  Mutex* m_;
+};
+
+/// Weighted FIFO counting semaphore. Models device channel pools, CPU
+/// cores, and the paper's throttles (filestore_queue_max_ops/bytes,
+/// osd_client_message_cap): `co_await sem.acquire(n)` blocks while fewer
+/// than n units are available, and waiters are served strictly in order
+/// (so a big request is not starved by small ones). acquire() is a custom
+/// awaiter (no coroutine frame) because it sits on every hot path of the
+/// simulator.
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::uint64_t initial)
+      : sim_(sim), available_(initial), capacity_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  class Acquire {
+   public:
+    Acquire(Semaphore& s, std::uint64_t n) : s_(s), n_(n) {}
+    bool await_ready() {
+      s_.acquires_++;
+      if (s_.waiters_.empty() && s_.available_ >= n_) {
+        s_.available_ -= n_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      s_.blocked_++;
+      enqueued_ = s_.sim_.now();
+      handle_ = h;
+      s_.waiters_.push_back(this);
+    }
+    void await_resume() {
+      if (handle_) s_.total_wait_ns_ += s_.sim_.now() - enqueued_;
+    }
+
+   private:
+    friend class Semaphore;
+    Semaphore& s_;
+    std::uint64_t n_;
+    Time enqueued_ = 0;
+    std::coroutine_handle<> handle_;
+  };
+
+  Acquire acquire(std::uint64_t n = 1) { return Acquire(*this, n); }
+  bool try_acquire(std::uint64_t n = 1);
+  void release(std::uint64_t n = 1);
+
+  /// Change capacity at runtime (throttle re-tuning); extra units become
+  /// available immediately, reductions take effect as units drain.
+  void set_capacity(std::uint64_t cap);
+
+  std::uint64_t available() const { return available_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t in_use() const { return capacity_ > available_ ? capacity_ - available_ : 0; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  std::uint64_t total_acquires() const { return acquires_; }
+  std::uint64_t blocked_acquires() const { return blocked_; }
+  Time total_wait_ns() const { return total_wait_ns_; }
+
+ private:
+  friend class Acquire;
+  void dispatch_waiters();
+
+  Simulation& sim_;
+  std::uint64_t available_;
+  std::uint64_t capacity_;
+  std::deque<Acquire*> waiters_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t blocked_ = 0;
+  Time total_wait_ns_ = 0;
+};
+
+/// Fork/join helper: add() before spawning, done() in each task, and
+/// `co_await wg.wait()` to join.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulation& sim) : cv_(sim) {}
+
+  void add(std::uint64_t n = 1) { outstanding_ += n; }
+  void done();
+  CoTask<void> wait();
+  std::uint64_t outstanding() const { return outstanding_; }
+
+ private:
+  CondVar cv_;
+  std::uint64_t outstanding_ = 0;
+};
+
+/// One-shot event: wait() suspends until set() is called (then never blocks
+/// again). Used for per-op completion signalling.
+class OneShot {
+ public:
+  explicit OneShot(Simulation& sim) : cv_(sim) {}
+  CoTask<void> wait() {
+    while (!set_) co_await cv_.wait();
+  }
+  void set() {
+    set_ = true;
+    cv_.notify_all();
+  }
+  bool is_set() const { return set_; }
+
+ private:
+  CondVar cv_;
+  bool set_ = false;
+};
+
+}  // namespace afc::sim

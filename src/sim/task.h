@@ -1,0 +1,197 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace afc::sim {
+
+/// Thread-local size-class pool for coroutine frames. The simulator
+/// allocates a handful of frames per simulated I/O; recycling them through
+/// free lists removes most of the remaining malloc traffic.
+class FramePool {
+ public:
+  static void* alloc(std::size_t sz) {
+    const std::size_t cls = size_class(sz);
+    if (cls >= kClasses) return ::operator new(sz);
+    auto& list = lists()[cls];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    return ::operator new((cls + 1) * kGranule);
+  }
+
+  static void release(void* p, std::size_t sz) {
+    const std::size_t cls = size_class(sz);
+    if (cls >= kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    auto& list = lists()[cls];
+    if (list.size() < kMaxPerClass) {
+      list.push_back(p);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kClasses = 20;  // up to 1280 bytes pooled
+  static constexpr std::size_t kMaxPerClass = 4096;
+
+  static std::size_t size_class(std::size_t sz) { return (sz + kGranule - 1) / kGranule - 1; }
+  static std::vector<void*>* lists() {
+    thread_local std::vector<void*> lists_[kClasses];
+    return lists_;
+  }
+};
+
+/// Lazily-started awaitable coroutine returning T. The standard structured
+/// task shape: a parent `co_await`s a child CoTask; the child starts on
+/// await and resumes the parent by symmetric transfer at completion. The
+/// frame is destroyed when the CoTask object is destroyed (after the parent
+/// consumed the result), so lifetimes nest like ordinary calls.
+///
+/// Simulated code must not throw across suspension points: an escaped
+/// exception terminates the process (a simulator bug, not a recoverable
+/// condition).
+template <class T>
+class [[nodiscard]] CoTask {
+  struct Promise;
+
+ public:
+  using promise_type = Promise;
+  using Handle = std::coroutine_handle<Promise>;
+
+  CoTask(CoTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  CoTask& operator=(CoTask&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~CoTask() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  Handle await_suspend(std::coroutine_handle<> parent) noexcept {
+    h_.promise().continuation = parent;
+    return h_;  // start the child now
+  }
+  T await_resume() {
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*h_.promise().value);
+    }
+  }
+
+ private:
+  struct PromiseBase {
+    std::coroutine_handle<> continuation;
+
+    static void* operator new(std::size_t sz) { return FramePool::alloc(sz); }
+    static void operator delete(void* p, std::size_t sz) { FramePool::release(p, sz); }
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  struct PromiseValue : PromiseBase {
+    std::optional<T> value;
+    template <class U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+    CoTask get_return_object() { return CoTask(Handle::from_promise(static_cast<Promise&>(*this))); }
+  };
+  struct PromiseVoid : PromiseBase {
+    void return_void() {}
+    CoTask get_return_object() { return CoTask(Handle::from_promise(static_cast<Promise&>(*this))); }
+  };
+  struct Promise : std::conditional_t<std::is_void_v<T>, PromiseVoid, PromiseValue> {};
+
+  explicit CoTask(Handle h) : h_(h) {}
+  Handle h_;
+};
+
+/// Root coroutine type for detached ("thread-like") simulated activities.
+/// Eagerly started, self-destroying. Use spawn() rather than writing one of
+/// these directly.
+struct Detached {
+  struct promise_type {
+    static void* operator new(std::size_t sz) { return FramePool::alloc(sz); }
+    static void operator delete(void* p, std::size_t sz) { FramePool::release(p, sz); }
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+namespace detail {
+inline Detached spawn_impl(CoTask<void> task) {
+  co_await task;
+}
+template <class Fn>
+inline Detached spawn_fn_impl(Fn fn) {
+  auto task = fn();
+  co_await task;
+}
+}  // namespace detail
+
+/// Launch `task` as a detached simulated activity. It runs immediately until
+/// its first suspension, then continues under the event loop. The coroutine
+/// frame is released when the task finishes.
+inline void spawn(CoTask<void> task) { detail::spawn_impl(std::move(task)); }
+
+/// Launch `fn()` (returning CoTask<void>) detached, keeping `fn`'s captures
+/// alive for the task's whole lifetime. Use when the lambda owns state the
+/// coroutine needs (a plain `spawn(lambda())` would drop the captures at the
+/// first suspension).
+template <class Fn>
+void spawn_fn(Fn fn) {
+  detail::spawn_fn_impl(std::move(fn));
+}
+
+/// Awaitable that suspends the current coroutine for `delay` virtual ns.
+/// Even a zero delay yields through the event queue (fair round-robin).
+class Delay {
+ public:
+  Delay(Simulation& sim, Time delay) : sim_(sim), delay_(delay) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_.schedule_after(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulation& sim_;
+  Time delay_;
+};
+
+inline Delay delay(Simulation& sim, Time d) { return Delay(sim, d); }
+inline Delay yield(Simulation& sim) { return Delay(sim, 0); }
+
+}  // namespace afc::sim

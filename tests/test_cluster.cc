@@ -1,0 +1,185 @@
+// Tests for CRUSH placement and the cluster map: determinism, balance,
+// replica separation across hosts, minimal movement on expansion, failure
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/map.h"
+
+namespace afc::cluster {
+namespace {
+
+Crush make_crush(unsigned nodes, unsigned osds_per_node) {
+  Crush c;
+  for (unsigned i = 0; i < nodes * osds_per_node; i++) c.add_osd(i, i / osds_per_node);
+  return c;
+}
+
+TEST(Crush, Deterministic) {
+  Crush a = make_crush(4, 4);
+  Crush b = make_crush(4, 4);
+  for (std::uint32_t pg = 0; pg < 256; pg++) {
+    EXPECT_EQ(a.place(0, pg, 2), b.place(0, pg, 2));
+  }
+}
+
+TEST(Crush, ReturnsDistinctOsdsAcrossHosts) {
+  Crush c = make_crush(4, 4);
+  for (std::uint32_t pg = 0; pg < 512; pg++) {
+    auto acting = c.place(0, pg, 2);
+    ASSERT_EQ(acting.size(), 2u);
+    EXPECT_NE(acting[0], acting[1]);
+    EXPECT_NE(acting[0] / 4, acting[1] / 4) << "replicas share a host for pg " << pg;
+  }
+}
+
+TEST(Crush, BalancedPrimaryDistribution) {
+  Crush c = make_crush(4, 4);
+  std::map<std::uint32_t, int> primaries;
+  const int pgs = 4096;
+  for (std::uint32_t pg = 0; pg < std::uint32_t(pgs); pg++) primaries[c.place(0, pg, 2)[0]]++;
+  const double expected = double(pgs) / 16.0;
+  for (const auto& [osd, n] : primaries) {
+    EXPECT_NEAR(n, expected, expected * 0.35) << "osd " << osd;
+  }
+  EXPECT_EQ(primaries.size(), 16u);
+}
+
+TEST(Crush, WeightsSkewPlacement) {
+  Crush c;
+  c.add_osd(0, 0, 1.0);
+  c.add_osd(1, 1, 3.0);
+  c.add_osd(2, 2, 1.0);
+  std::map<std::uint32_t, int> primaries;
+  for (std::uint32_t pg = 0; pg < 3000; pg++) primaries[c.place(0, pg, 1)[0]]++;
+  EXPECT_GT(primaries[1], primaries[0] * 2);
+  EXPECT_GT(primaries[1], primaries[2] * 2);
+}
+
+TEST(Crush, MinimalMovementOnExpansion) {
+  // Straw2 property: adding OSDs only moves the PGs they win.
+  Crush before = make_crush(4, 4);
+  Crush after = make_crush(4, 4);
+  for (unsigned i = 16; i < 20; i++) after.add_osd(i, 4);  // a 5th node
+
+  const int pgs = 2048;
+  int moved_primary = 0;
+  int to_new = 0;
+  for (std::uint32_t pg = 0; pg < std::uint32_t(pgs); pg++) {
+    const auto a = before.place(0, pg, 2);
+    const auto b = after.place(0, pg, 2);
+    if (a[0] != b[0]) {
+      moved_primary++;
+      if (b[0] >= 16) to_new++;
+    }
+  }
+  // Expected: ~1/5 of primaries move, and essentially all moves target the
+  // new node.
+  EXPECT_NEAR(moved_primary, pgs / 5, pgs / 12);
+  EXPECT_GT(double(to_new) / double(moved_primary), 0.95);
+}
+
+TEST(Crush, DownOsdExcluded) {
+  Crush c = make_crush(4, 4);
+  c.set_up(3, false);
+  for (std::uint32_t pg = 0; pg < 1024; pg++) {
+    for (auto osd : c.place(0, pg, 2)) EXPECT_NE(osd, 3u);
+  }
+  c.set_up(3, true);
+  bool seen = false;
+  for (std::uint32_t pg = 0; pg < 1024 && !seen; pg++) {
+    for (auto osd : c.place(0, pg, 2)) seen |= osd == 3;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(Crush, RelaxesHostConstraintWhenHostsScarce) {
+  Crush c;
+  c.add_osd(0, 0);
+  c.add_osd(1, 0);
+  c.add_osd(2, 0);  // one host only
+  auto acting = c.place(0, 7, 2);
+  ASSERT_EQ(acting.size(), 2u);
+  EXPECT_NE(acting[0], acting[1]);
+}
+
+TEST(ClusterMap, PgOfStableAndInRange) {
+  ClusterMap m(ClusterMap::PoolConfig{256, 2});
+  EXPECT_EQ(m.pg_of("rbd_data.vm1.000000000001"), m.pg_of("rbd_data.vm1.000000000001"));
+  std::set<std::uint32_t> pgs;
+  for (int i = 0; i < 5000; i++) {
+    const auto pg = m.pg_of("rbd_data.vm1." + std::to_string(i));
+    ASSERT_LT(pg, 256u);
+    pgs.insert(pg);
+  }
+  EXPECT_GT(pgs.size(), 250u);  // objects spread over nearly all PGs
+}
+
+TEST(ClusterMap, ActingCacheInvalidatesOnEpochBump) {
+  ClusterMap m(ClusterMap::PoolConfig{128, 2});
+  for (unsigned i = 0; i < 8; i++) m.crush().add_osd(i, i / 2);
+  const auto before = m.acting(7);
+  // Add OSDs without bumping: cached answer must not change.
+  for (unsigned i = 8; i < 12; i++) m.crush().add_osd(i, 4 + (i - 8) / 2);
+  EXPECT_EQ(m.acting(7), before);
+  m.bump_epoch();
+  bool any_changed = false;
+  for (std::uint32_t pg = 0; pg < 128; pg++) {
+    ClusterMap fresh(ClusterMap::PoolConfig{128, 2});
+    for (unsigned i = 0; i < 12; i++) {
+      fresh.crush().add_osd(i, i < 8 ? i / 2 : 4 + (i - 8) / 2);
+    }
+    if (m.acting(pg) != before) any_changed = true;
+    EXPECT_EQ(m.acting(pg), fresh.acting(pg));
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(ClusterMap, PrimaryIsFirstOfActing) {
+  ClusterMap m(ClusterMap::PoolConfig{64, 3});
+  for (unsigned i = 0; i < 12; i++) m.crush().add_osd(i, i / 3);
+  for (std::uint32_t pg = 0; pg < 64; pg++) {
+    const auto acting = m.acting(pg);
+    ASSERT_EQ(acting.size(), 3u);
+    EXPECT_EQ(m.primary(pg), acting[0]);
+  }
+}
+
+TEST(Crush, SingleOsdDegenerateCase) {
+  Crush c;
+  c.add_osd(0, 0);
+  auto acting = c.place(0, 42, 2);
+  ASSERT_EQ(acting.size(), 1u);  // cannot satisfy size 2 with one OSD
+  EXPECT_EQ(acting[0], 0u);
+}
+
+TEST(Crush, AllOsdsDownYieldsEmpty) {
+  Crush c;
+  c.add_osd(0, 0);
+  c.add_osd(1, 1);
+  c.set_up(0, false);
+  c.set_up(1, false);
+  EXPECT_TRUE(c.place(0, 1, 2).empty());
+}
+
+TEST(Crush, ZeroWeightExcluded) {
+  Crush c;
+  c.add_osd(0, 0, 0.0);
+  c.add_osd(1, 1, 1.0);
+  for (std::uint32_t pg = 0; pg < 64; pg++) {
+    for (auto osd : c.place(0, pg, 1)) EXPECT_EQ(osd, 1u);
+  }
+}
+
+TEST(ClusterMap, SmallestPgNum) {
+  ClusterMap m(ClusterMap::PoolConfig{1, 2});
+  for (unsigned i = 0; i < 4; i++) m.crush().add_osd(i, i / 2);
+  EXPECT_EQ(m.pg_of("anything"), 0u);
+  EXPECT_EQ(m.acting(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace afc::cluster

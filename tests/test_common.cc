@@ -1,0 +1,303 @@
+// Tests for common/: RNG, histogram, time series, payloads, interning,
+// counters, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/histogram.h"
+#include "common/interned.h"
+#include "common/payload.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timeseries.h"
+
+namespace afc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; i++) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; i++) {
+    const auto v = r.uniform_int(3, 10);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 10u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 10;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) sum += r.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng r(13);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; i++) counts[r.zipf(1000, 0.9)]++;
+  EXPECT_GT(counts[0], counts[500] * 5);
+  for (const auto& [rank, n] : counts) ASSERT_LT(rank, 1000u);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniform) {
+  Rng r(17);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 30000; i++) counts[r.zipf(10, 0.0)]++;
+  for (int k = 0; k < 10; k++) EXPECT_NEAR(counts[std::uint64_t(k)], 3000, 400);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  Histogram h;
+  h.record(5);
+  h.record(5);
+  h.record(7);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_NEAR(h.mean(), 17.0 / 3.0, 1e-9);
+  EXPECT_EQ(h.percentile(0.0), 5u);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+}
+
+TEST(Histogram, PercentileAccuracyWithinBucketError) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; v++) h.record(v);
+  // Log-linear buckets guarantee ~1/64 relative error.
+  EXPECT_NEAR(double(h.percentile(0.5)), 50000.0, 50000.0 / 32.0);
+  EXPECT_NEAR(double(h.percentile(0.99)), 99000.0, 99000.0 / 32.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  Rng r(3);
+  for (int i = 0; i < 1000; i++) {
+    const auto v = r.uniform_int(1, 1000000);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_EQ(a.percentile(0.9), combined.percentile(0.9));
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(100);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, HugeValues) {
+  Histogram h;
+  const std::uint64_t big = 1ull << 62;
+  h.record(big);
+  EXPECT_NEAR(double(h.percentile(0.5)), double(big), double(big) / 32.0);
+}
+
+TEST(TimeSeries, RatesPerInterval) {
+  TimeSeries ts(100 * kMillisecond);
+  for (int i = 0; i < 50; i++) ts.add(Time(i) * 10 * kMillisecond);  // 0..490ms
+  ASSERT_EQ(ts.size(), 5u);
+  for (std::size_t i = 0; i < 5; i++) EXPECT_DOUBLE_EQ(ts.rate(i), 100.0);  // 10/100ms
+  EXPECT_DOUBLE_EQ(ts.mean_rate(0, 5), 100.0);
+  EXPECT_NEAR(ts.cov(0, 5), 0.0, 1e-12);
+}
+
+TEST(TimeSeries, CovDetectsFluctuation) {
+  TimeSeries steady(100 * kMillisecond), bursty(100 * kMillisecond);
+  for (int b = 0; b < 10; b++) {
+    for (int i = 0; i < 10; i++) steady.add(Time(b) * 100 * kMillisecond + 1);
+    const int n = (b % 2 == 0) ? 19 : 1;
+    for (int i = 0; i < n; i++) bursty.add(Time(b) * 100 * kMillisecond + 1);
+  }
+  EXPECT_LT(steady.cov(0, 10), 0.01);
+  EXPECT_GT(bursty.cov(0, 10), 0.5);
+}
+
+TEST(Payload, VirtualMaterializeDeterministic) {
+  auto p = Payload::pattern(64, 42);
+  auto a = p.materialize();
+  auto b = p.materialize();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_NE(a, Payload::pattern(64, 43).materialize());
+}
+
+TEST(Payload, SliceOfVirtualMatchesMaterializedSlice) {
+  auto p = Payload::pattern(4096, 7);
+  auto full = p.materialize();
+  auto s = p.slice(100, 200);
+  EXPECT_TRUE(s.is_virtual());  // O(1) slice
+  auto sm = s.materialize();
+  ASSERT_EQ(sm.size(), 200u);
+  for (int i = 0; i < 200; i++) EXPECT_EQ(sm[std::size_t(i)], full[std::size_t(100 + i)]);
+}
+
+TEST(Payload, SliceClampsAtEnd) {
+  auto p = Payload::pattern(100, 1);
+  EXPECT_EQ(p.slice(90, 50).size(), 10u);
+  EXPECT_EQ(p.slice(200, 50).size(), 0u);
+}
+
+TEST(Payload, RealBytesRoundTrip) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  auto p = Payload::bytes(data);
+  EXPECT_FALSE(p.is_virtual());
+  EXPECT_EQ(p.materialize(), data);
+  EXPECT_TRUE(p.content_equals(Payload::bytes(data)));
+}
+
+TEST(Payload, ContentEqualsAcrossRepresentations) {
+  auto v = Payload::pattern(256, 99);
+  auto r = Payload::bytes(v.materialize());
+  EXPECT_TRUE(v.content_equals(r));
+  EXPECT_TRUE(r.content_equals(v));
+  EXPECT_FALSE(v.content_equals(Payload::pattern(256, 100)));
+}
+
+TEST(Payload, FingerprintIdentity) {
+  EXPECT_EQ(Payload::pattern(4096, 5).fingerprint(), Payload::pattern(4096, 5).fingerprint());
+  EXPECT_NE(Payload::pattern(4096, 5).fingerprint(), Payload::pattern(4096, 6).fingerprint());
+  EXPECT_NE(Payload::pattern(4096, 5).fingerprint(),
+            Payload::pattern(8192, 5).fingerprint());
+  // Same-content real payloads hash equal.
+  auto a = Payload::bytes({9, 8, 7});
+  auto b = Payload::bytes({9, 8, 7});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(InternPool, IdempotentIds) {
+  InternPool pool;
+  const auto a = pool.intern("osd: dispatch op");
+  const auto b = pool.intern("osd: journal write");
+  const auto a2 = pool.intern("osd: dispatch op");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.lookup(a), "osd: dispatch op");
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(InternPool, FindDoesNotInsert) {
+  InternPool pool;
+  InternPool::Id id;
+  EXPECT_FALSE(pool.find("missing", id));
+  pool.intern("present");
+  EXPECT_TRUE(pool.find("present", id));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Counters, AddAndQuery) {
+  Counters c;
+  c.add("x");
+  c.add("x", 4);
+  c.add("y", 2);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 2u);
+  EXPECT_EQ(c.get("z"), 0u);
+  c.clear();
+  EXPECT_EQ(c.get("x"), 0u);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "iops"});
+  t.row({"community", "16.0K"});
+  t.row({"afceph", "81.3K"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("81.3K"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Histogram, RecordNBulk) {
+  Histogram h;
+  h.record_n(1000, 500);
+  h.record_n(2000, 500);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean(), 1500.0, 40.0);
+  h.record_n(5, 0);  // no-op
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(TimeSeries, ToStringRendersRates) {
+  TimeSeries ts(100 * kMillisecond);
+  for (int i = 0; i < 30; i++) ts.add(Time(i) * 10 * kMillisecond);
+  const auto s1 = ts.to_string();
+  EXPECT_NE(s1.find("t=0.0s"), std::string::npos);
+  EXPECT_NE(s1.find("100"), std::string::npos);
+  const auto s2 = ts.to_string(3);
+  EXPECT_LT(s2.size(), s1.size());
+}
+
+TEST(Payload, ZerosAndEmpty) {
+  auto z = Payload::zeros(16);
+  EXPECT_TRUE(z.is_virtual());
+  EXPECT_EQ(z.size(), 16u);
+  Payload empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.materialize().empty());
+  EXPECT_TRUE(empty.content_equals(Payload::pattern(0, 9)));
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::kiops(81300), "81.3K");
+  EXPECT_EQ(Table::kiops(950), "950");
+}
+
+}  // namespace
+}  // namespace afc

@@ -1,0 +1,501 @@
+// Unit tests for the discrete-event simulation kernel (sim/): event
+// ordering, coroutine tasks, synchronization primitives, channels, CPU pool.
+
+#include <gtest/gtest.h>
+
+#include "sim/channel.h"
+#include "sim/cpu.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace afc::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_after(30, [&] { order.push_back(3); });
+  sim.schedule_after(10, [&] { order.push_back(1); });
+  sim.schedule_after(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulation, EqualTimestampsAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.schedule_after(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; i++) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulation, NestedSchedulingAdvancesClock) {
+  Simulation sim;
+  Time inner_time = 0;
+  sim.schedule_after(10, [&] {
+    sim.schedule_after(15, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, 25u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(10, [&] { fired++; });
+  sim.schedule_after(100, [&] { fired++; });
+  EXPECT_TRUE(sim.run_until(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, PastScheduleClampsToNow) {
+  Simulation sim;
+  Time when = ~Time(0);
+  sim.schedule_after(100, [&] {
+    sim.schedule_at(5, [&] { when = sim.now(); });  // in the "past"
+  });
+  sim.run();
+  EXPECT_EQ(when, 100u);
+}
+
+TEST(CoTask, ReturnsValueToParent) {
+  Simulation sim;
+  int result = 0;
+  auto child = [&]() -> CoTask<int> { co_return 42; };
+  auto parent = [&]() -> CoTask<void> { result = co_await child(); };
+  spawn(parent());
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(CoTask, DelayAdvancesVirtualTime) {
+  Simulation sim;
+  Time t1 = 0, t2 = 0;
+  auto task = [&]() -> CoTask<void> {
+    co_await delay(sim, 100);
+    t1 = sim.now();
+    co_await delay(sim, 250);
+    t2 = sim.now();
+  };
+  spawn(task());
+  sim.run();
+  EXPECT_EQ(t1, 100u);
+  EXPECT_EQ(t2, 350u);
+}
+
+TEST(CoTask, DeepChainCompletes) {
+  Simulation sim;
+  // Recursion through CoTask frames: verifies the symmetric-transfer chain
+  // and frame cleanup at a depth that would be uncomfortable on the stack
+  // if transfers recursed.
+  struct Rec {
+    static CoTask<int> down(Simulation& s, int n) {
+      if (n == 0) co_return 0;
+      co_await delay(s, 1);
+      const int sub = co_await down(s, n - 1);
+      co_return sub + 1;
+    }
+  };
+  int result = -1;
+  auto root = [&]() -> CoTask<void> { result = co_await Rec::down(sim, 500); };
+  spawn(root());
+  sim.run();
+  EXPECT_EQ(result, 500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Simulation sim;
+  Mutex mu(sim);
+  int inside = 0;
+  int max_inside = 0;
+  auto worker = [&]() -> CoTask<void> {
+    co_await mu.lock();
+    inside++;
+    max_inside = std::max(max_inside, inside);
+    co_await delay(sim, 10);
+    inside--;
+    mu.unlock();
+  };
+  for (int i = 0; i < 5; i++) spawn(worker());
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(mu.acquisitions(), 5u);
+  EXPECT_EQ(mu.contended_acquisitions(), 4u);
+  EXPECT_FALSE(mu.is_locked());
+}
+
+TEST(Mutex, FifoHandoffOrder) {
+  Simulation sim;
+  Mutex mu(sim);
+  std::vector<int> order;
+  auto worker = [&](int id) -> CoTask<void> {
+    co_await mu.lock();
+    order.push_back(id);
+    co_await delay(sim, 5);
+    mu.unlock();
+  };
+  // Stagger arrivals so the queue order is deterministic.
+  for (int i = 0; i < 4; i++) {
+    sim.schedule_after(Time(i), [&, i] { spawn(worker(i)); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Mutex, TracksWaitTime) {
+  Simulation sim;
+  Mutex mu(sim);
+  auto holder = [&]() -> CoTask<void> {
+    co_await mu.lock();
+    co_await delay(sim, 100);
+    mu.unlock();
+  };
+  auto waiter = [&]() -> CoTask<void> {
+    co_await mu.lock();
+    mu.unlock();
+  };
+  spawn(holder());
+  spawn(waiter());
+  sim.run();
+  EXPECT_EQ(mu.total_wait_ns(), 100u);
+}
+
+TEST(Mutex, TryLockDoesNotBlock) {
+  Simulation sim;
+  Mutex mu(sim);
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(ScopedLock, ReleasesOnScopeExit) {
+  Simulation sim;
+  Mutex mu(sim);
+  bool second_ran = false;
+  auto first = [&]() -> CoTask<void> {
+    auto guard = co_await ScopedLock::acquire(mu);
+    co_await delay(sim, 10);
+  };
+  auto second = [&]() -> CoTask<void> {
+    co_await mu.lock();
+    second_ran = true;
+    mu.unlock();
+  };
+  spawn(first());
+  spawn(second());
+  sim.run();
+  EXPECT_TRUE(second_ran);
+  EXPECT_FALSE(mu.is_locked());
+}
+
+TEST(Semaphore, WeightedFifo) {
+  Simulation sim;
+  Semaphore sem(sim, 10);
+  std::vector<int> order;
+  auto taker = [&](int id, std::uint64_t n, Time hold) -> CoTask<void> {
+    co_await sem.acquire(n);
+    order.push_back(id);
+    co_await delay(sim, hold);
+    sem.release(n);
+  };
+  // A big request queued first must not be starved by small ones behind it.
+  spawn(taker(0, 8, 50));
+  sim.schedule_after(1, [&] { spawn(taker(1, 8, 10)); });   // blocks (8 > 2 left)
+  sim.schedule_after(2, [&] { spawn(taker(2, 1, 10)); });   // would fit, but FIFO
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Semaphore, CapacityResize) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  EXPECT_TRUE(sem.try_acquire(2));
+  EXPECT_FALSE(sem.try_acquire(1));
+  sem.set_capacity(5);
+  EXPECT_TRUE(sem.try_acquire(3));
+  sem.release(5);
+  EXPECT_EQ(sem.available(), 5u);
+}
+
+TEST(Channel, FifoDelivery) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  auto consumer = [&]() -> CoTask<void> {
+    for (;;) {
+      auto v = co_await ch.pop();
+      if (!v) break;
+      got.push_back(*v);
+    }
+  };
+  spawn(consumer());
+  auto producer = [&]() -> CoTask<void> {
+    for (int i = 0; i < 100; i++) co_await ch.push(i);
+    ch.close();
+  };
+  spawn(producer());
+  sim.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(got[std::size_t(i)], i);
+}
+
+TEST(Channel, BoundedBlocksProducer) {
+  Simulation sim;
+  Channel<int> ch(sim, 2);
+  int produced = 0;
+  auto producer = [&]() -> CoTask<void> {
+    for (int i = 0; i < 10; i++) {
+      co_await ch.push(i);
+      produced++;
+    }
+  };
+  spawn(producer());
+  sim.run_until(0);
+  EXPECT_EQ(produced, 2);  // capacity reached, producer suspended
+  auto consumer = [&]() -> CoTask<void> {
+    for (int i = 0; i < 10; i++) {
+      auto v = co_await ch.pop();
+      EXPECT_TRUE(v.has_value());  // ASSERT_* returns, which coroutines forbid
+      if (!v) co_return;
+      EXPECT_EQ(*v, i);
+    }
+  };
+  spawn(consumer());
+  sim.run();
+  EXPECT_EQ(produced, 10);
+  EXPECT_GT(ch.blocked_pushes(), 0u);
+}
+
+TEST(Channel, CloseDrainsThenNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.try_push(1);
+  ch.try_push(2);
+  ch.close();
+  std::vector<int> got;
+  bool saw_end = false;
+  auto consumer = [&]() -> CoTask<void> {
+    for (;;) {
+      auto v = co_await ch.pop();
+      if (!v) {
+        saw_end = true;
+        break;
+      }
+      got.push_back(*v);
+    }
+  };
+  spawn(consumer());
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(CondVar, NotifyOneWakesOneWaiter) {
+  Simulation sim;
+  CondVar cv(sim);
+  int woken = 0;
+  bool ready = false;
+  auto waiter = [&]() -> CoTask<void> {
+    while (!ready) co_await cv.wait();
+    woken++;
+  };
+  spawn(waiter());
+  spawn(waiter());
+  sim.schedule_after(10, [&] {
+    ready = true;
+    cv.notify_one();
+  });
+  sim.run();
+  // notify_one wakes one coroutine; since `ready` is now true it completes,
+  // but the second stays suspended forever (no more notifies).
+  EXPECT_EQ(woken, 1);
+  EXPECT_EQ(cv.waiters(), 1u);
+}
+
+TEST(WaitGroup, JoinsAllTasks) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  int done = 0;
+  Time joined_at = 0;
+  for (int i = 1; i <= 3; i++) {
+    wg.add(1);
+    const Time d = Time(i) * 10;
+    sim.schedule_after(0, [&, d] {
+      spawn([](Simulation& s, WaitGroup& w, int& counter, Time dd) -> CoTask<void> {
+        co_await delay(s, dd);
+        counter++;
+        w.done();
+      }(sim, wg, done, d));
+    });
+  }
+  auto joiner = [&]() -> CoTask<void> {
+    co_await wg.wait();
+    joined_at = sim.now();
+  };
+  spawn(joiner());
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(joined_at, 30u);
+}
+
+TEST(OneShot, WaitersReleaseOnSet) {
+  Simulation sim;
+  OneShot ev(sim);
+  int released = 0;
+  auto waiter = [&]() -> CoTask<void> {
+    co_await ev.wait();
+    released++;
+  };
+  spawn(waiter());
+  spawn(waiter());
+  sim.schedule_after(5, [&] { ev.set(); });
+  sim.run();
+  EXPECT_EQ(released, 2);
+  // Waiting after set() returns immediately.
+  spawn(waiter());
+  sim.run();
+  EXPECT_EQ(released, 3);
+}
+
+TEST(CpuPool, SerializesBeyondCoreCount) {
+  Simulation sim;
+  CpuPool cpu(sim, 2);
+  Time finished = 0;
+  auto job = [&]() -> CoTask<void> {
+    co_await cpu.consume(100);
+    finished = sim.now();
+  };
+  for (int i = 0; i < 4; i++) spawn(job());
+  sim.run();
+  // 4 jobs x 100ns on 2 cores => makespan 200ns.
+  EXPECT_EQ(finished, 200u);
+  EXPECT_EQ(cpu.busy_ns(), 400u);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 1.0);
+}
+
+TEST(CpuPool, ZeroCostIsFree) {
+  Simulation sim;
+  CpuPool cpu(sim, 1);
+  auto job = [&]() -> CoTask<void> { co_await cpu.consume(0); };
+  spawn(job());
+  sim.run();
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Semaphore, CapacityShrinkTakesEffectAsUnitsDrain) {
+  Simulation sim;
+  Semaphore sem(sim, 4);
+  EXPECT_TRUE(sem.try_acquire(4));
+  sem.set_capacity(2);  // shrink while fully in use
+  sem.release(4);
+  EXPECT_EQ(sem.available(), 2u);
+  EXPECT_TRUE(sem.try_acquire(2));
+  EXPECT_FALSE(sem.try_acquire(1));
+  sem.release(2);
+}
+
+TEST(Semaphore, TracksWaitTimeAndBlockedCount) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  auto holder = [&]() -> CoTask<void> {
+    co_await sem.acquire(1);
+    co_await delay(sim, 250);
+    sem.release(1);
+  };
+  auto waiter = [&]() -> CoTask<void> {
+    co_await sem.acquire(1);
+    sem.release(1);
+  };
+  spawn(holder());
+  spawn(waiter());
+  sim.run();
+  EXPECT_EQ(sem.blocked_acquires(), 1u);
+  EXPECT_EQ(sem.total_wait_ns(), 250u);
+}
+
+TEST(Channel, DrainGrabsEverythingWithoutBlocking) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  for (int i = 0; i < 5; i++) ch.try_push(i);
+  auto drained = ch.drain();
+  EXPECT_EQ(drained.size(), 5u);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(drained.front(), 0);
+  EXPECT_EQ(drained.back(), 4);
+}
+
+TEST(Channel, StatsTrackDepthAndPushes) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  for (int i = 0; i < 7; i++) ch.try_push(i);
+  EXPECT_EQ(ch.total_pushes(), 7u);
+  EXPECT_EQ(ch.max_depth(), 7u);
+}
+
+TEST(EventFn, StoresSmallCapturesInline) {
+  // Compile-time contract: pointer+integer captures fit; the static_asserts
+  // in EventFn reject anything bigger. Runtime check: the callback runs.
+  Simulation sim;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  bool ran = false;
+  bool* ranp = &ran;
+  sim.schedule_after(1, [a, b, c, d, ranp] {
+    if (a + b + c + d == 10) *ranp = true;
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(FramePool, RecyclesCoroutineFrames) {
+  // Churn many short-lived coroutines; the pool makes this cheap and, more
+  // importantly, correct (no double-free / use-after-free under recycling).
+  Simulation sim;
+  std::uint64_t sum = 0;
+  auto leaf = [&sim](std::uint64_t i) -> CoTask<std::uint64_t> {
+    co_await delay(sim, 1);
+    co_return i;
+  };
+  auto root = [&]() -> CoTask<void> {
+    for (std::uint64_t i = 0; i < 20000; i++) sum += co_await leaf(i);
+  };
+  spawn(root());
+  sim.run();
+  EXPECT_EQ(sum, 20000ull * 19999 / 2);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(1, [&] { fired++; });
+  sim.schedule_after(2, [&] { fired++; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(CpuPool, QueueWaitAccounted) {
+  Simulation sim;
+  CpuPool cpu(sim, 1);
+  auto job = [&]() -> CoTask<void> { co_await cpu.consume(100); };
+  spawn(job());
+  spawn(job());
+  sim.run();
+  EXPECT_EQ(cpu.total_queue_wait_ns(), 100u);
+  EXPECT_EQ(cpu.queued(), 0u);
+}
+
+}  // namespace
+}  // namespace afc::sim
