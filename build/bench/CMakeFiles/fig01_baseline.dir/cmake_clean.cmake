@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_baseline.dir/fig01_baseline.cc.o"
+  "CMakeFiles/fig01_baseline.dir/fig01_baseline.cc.o.d"
+  "fig01_baseline"
+  "fig01_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_logging.dir/fig04_logging.cc.o"
+  "CMakeFiles/fig04_logging.dir/fig04_logging.cc.o.d"
+  "fig04_logging"
+  "fig04_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ladder.dir/fig09_ladder.cc.o"
+  "CMakeFiles/fig09_ladder.dir/fig09_ladder.cc.o.d"
+  "fig09_ladder"
+  "fig09_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_solidfire.dir/fig11_solidfire.cc.o"
+  "CMakeFiles/fig11_solidfire.dir/fig11_solidfire.cc.o.d"
+  "fig11_solidfire"
+  "fig11_solidfire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_solidfire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_scaleout.dir/fig12_scaleout.cc.o"
+  "CMakeFiles/fig12_scaleout.dir/fig12_scaleout.cc.o.d"
+  "fig12_scaleout"
+  "fig12_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afceph_cli.dir/afceph_cli.cpp.o"
+  "CMakeFiles/afceph_cli.dir/afceph_cli.cpp.o.d"
+  "afceph_cli"
+  "afceph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afceph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_hosting.dir/vm_hosting.cpp.o"
+  "CMakeFiles/vm_hosting.dir/vm_hosting.cpp.o.d"
+  "vm_hosting"
+  "vm_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/rbd.cc" "src/CMakeFiles/afceph.dir/client/rbd.cc.o" "gcc" "src/CMakeFiles/afceph.dir/client/rbd.cc.o.d"
+  "/root/repo/src/client/runner.cc" "src/CMakeFiles/afceph.dir/client/runner.cc.o" "gcc" "src/CMakeFiles/afceph.dir/client/runner.cc.o.d"
+  "/root/repo/src/client/workload.cc" "src/CMakeFiles/afceph.dir/client/workload.cc.o" "gcc" "src/CMakeFiles/afceph.dir/client/workload.cc.o.d"
+  "/root/repo/src/cluster/crush.cc" "src/CMakeFiles/afceph.dir/cluster/crush.cc.o" "gcc" "src/CMakeFiles/afceph.dir/cluster/crush.cc.o.d"
+  "/root/repo/src/cluster/map.cc" "src/CMakeFiles/afceph.dir/cluster/map.cc.o" "gcc" "src/CMakeFiles/afceph.dir/cluster/map.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/afceph.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/interned.cc" "src/CMakeFiles/afceph.dir/common/interned.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/interned.cc.o.d"
+  "/root/repo/src/common/payload.cc" "src/CMakeFiles/afceph.dir/common/payload.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/payload.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/afceph.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/afceph.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/afceph.dir/common/table.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/table.cc.o.d"
+  "/root/repo/src/common/timeseries.cc" "src/CMakeFiles/afceph.dir/common/timeseries.cc.o" "gcc" "src/CMakeFiles/afceph.dir/common/timeseries.cc.o.d"
+  "/root/repo/src/core/cluster_sim.cc" "src/CMakeFiles/afceph.dir/core/cluster_sim.cc.o" "gcc" "src/CMakeFiles/afceph.dir/core/cluster_sim.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/CMakeFiles/afceph.dir/core/profile.cc.o" "gcc" "src/CMakeFiles/afceph.dir/core/profile.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/afceph.dir/core/report.cc.o" "gcc" "src/CMakeFiles/afceph.dir/core/report.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/afceph.dir/device/device.cc.o" "gcc" "src/CMakeFiles/afceph.dir/device/device.cc.o.d"
+  "/root/repo/src/device/hdd.cc" "src/CMakeFiles/afceph.dir/device/hdd.cc.o" "gcc" "src/CMakeFiles/afceph.dir/device/hdd.cc.o.d"
+  "/root/repo/src/device/nvram.cc" "src/CMakeFiles/afceph.dir/device/nvram.cc.o" "gcc" "src/CMakeFiles/afceph.dir/device/nvram.cc.o.d"
+  "/root/repo/src/device/ssd.cc" "src/CMakeFiles/afceph.dir/device/ssd.cc.o" "gcc" "src/CMakeFiles/afceph.dir/device/ssd.cc.o.d"
+  "/root/repo/src/fs/filestore.cc" "src/CMakeFiles/afceph.dir/fs/filestore.cc.o" "gcc" "src/CMakeFiles/afceph.dir/fs/filestore.cc.o.d"
+  "/root/repo/src/fs/journal.cc" "src/CMakeFiles/afceph.dir/fs/journal.cc.o" "gcc" "src/CMakeFiles/afceph.dir/fs/journal.cc.o.d"
+  "/root/repo/src/fs/pagecache.cc" "src/CMakeFiles/afceph.dir/fs/pagecache.cc.o" "gcc" "src/CMakeFiles/afceph.dir/fs/pagecache.cc.o.d"
+  "/root/repo/src/fs/transaction.cc" "src/CMakeFiles/afceph.dir/fs/transaction.cc.o" "gcc" "src/CMakeFiles/afceph.dir/fs/transaction.cc.o.d"
+  "/root/repo/src/kv/db.cc" "src/CMakeFiles/afceph.dir/kv/db.cc.o" "gcc" "src/CMakeFiles/afceph.dir/kv/db.cc.o.d"
+  "/root/repo/src/kv/memtable.cc" "src/CMakeFiles/afceph.dir/kv/memtable.cc.o" "gcc" "src/CMakeFiles/afceph.dir/kv/memtable.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/CMakeFiles/afceph.dir/kv/sstable.cc.o" "gcc" "src/CMakeFiles/afceph.dir/kv/sstable.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/CMakeFiles/afceph.dir/kv/wal.cc.o" "gcc" "src/CMakeFiles/afceph.dir/kv/wal.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/afceph.dir/net/link.cc.o" "gcc" "src/CMakeFiles/afceph.dir/net/link.cc.o.d"
+  "/root/repo/src/net/messenger.cc" "src/CMakeFiles/afceph.dir/net/messenger.cc.o" "gcc" "src/CMakeFiles/afceph.dir/net/messenger.cc.o.d"
+  "/root/repo/src/osd/dout.cc" "src/CMakeFiles/afceph.dir/osd/dout.cc.o" "gcc" "src/CMakeFiles/afceph.dir/osd/dout.cc.o.d"
+  "/root/repo/src/osd/meta_cache.cc" "src/CMakeFiles/afceph.dir/osd/meta_cache.cc.o" "gcc" "src/CMakeFiles/afceph.dir/osd/meta_cache.cc.o.d"
+  "/root/repo/src/osd/op.cc" "src/CMakeFiles/afceph.dir/osd/op.cc.o" "gcc" "src/CMakeFiles/afceph.dir/osd/op.cc.o.d"
+  "/root/repo/src/osd/osd.cc" "src/CMakeFiles/afceph.dir/osd/osd.cc.o" "gcc" "src/CMakeFiles/afceph.dir/osd/osd.cc.o.d"
+  "/root/repo/src/osd/pg.cc" "src/CMakeFiles/afceph.dir/osd/pg.cc.o" "gcc" "src/CMakeFiles/afceph.dir/osd/pg.cc.o.d"
+  "/root/repo/src/osd/throttle_set.cc" "src/CMakeFiles/afceph.dir/osd/throttle_set.cc.o" "gcc" "src/CMakeFiles/afceph.dir/osd/throttle_set.cc.o.d"
+  "/root/repo/src/rt/arena.cc" "src/CMakeFiles/afceph.dir/rt/arena.cc.o" "gcc" "src/CMakeFiles/afceph.dir/rt/arena.cc.o.d"
+  "/root/repo/src/rt/async_logger.cc" "src/CMakeFiles/afceph.dir/rt/async_logger.cc.o" "gcc" "src/CMakeFiles/afceph.dir/rt/async_logger.cc.o.d"
+  "/root/repo/src/rt/completion_batcher.cc" "src/CMakeFiles/afceph.dir/rt/completion_batcher.cc.o" "gcc" "src/CMakeFiles/afceph.dir/rt/completion_batcher.cc.o.d"
+  "/root/repo/src/rt/mpmc_queue.cc" "src/CMakeFiles/afceph.dir/rt/mpmc_queue.cc.o" "gcc" "src/CMakeFiles/afceph.dir/rt/mpmc_queue.cc.o.d"
+  "/root/repo/src/rt/sharded_opqueue.cc" "src/CMakeFiles/afceph.dir/rt/sharded_opqueue.cc.o" "gcc" "src/CMakeFiles/afceph.dir/rt/sharded_opqueue.cc.o.d"
+  "/root/repo/src/rt/throttle.cc" "src/CMakeFiles/afceph.dir/rt/throttle.cc.o" "gcc" "src/CMakeFiles/afceph.dir/rt/throttle.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/CMakeFiles/afceph.dir/sim/cpu.cc.o" "gcc" "src/CMakeFiles/afceph.dir/sim/cpu.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/afceph.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/afceph.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/afceph.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/afceph.dir/sim/sync.cc.o.d"
+  "/root/repo/src/solidfire/solidfire.cc" "src/CMakeFiles/afceph.dir/solidfire/solidfire.cc.o" "gcc" "src/CMakeFiles/afceph.dir/solidfire/solidfire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

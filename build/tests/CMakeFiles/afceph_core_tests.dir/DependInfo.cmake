@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_client.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_client.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_client.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_device.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_device.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_device.cc.o.d"
+  "/root/repo/tests/test_fs.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_fs.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_fs.cc.o.d"
+  "/root/repo/tests/test_kv.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_kv.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_kv.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_solidfire.cc" "tests/CMakeFiles/afceph_core_tests.dir/test_solidfire.cc.o" "gcc" "tests/CMakeFiles/afceph_core_tests.dir/test_solidfire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/afceph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

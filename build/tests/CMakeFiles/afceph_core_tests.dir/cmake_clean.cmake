@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afceph_core_tests.dir/test_client.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_client.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_cluster.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_cluster.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_common.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_device.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_device.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_fs.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_fs.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_kv.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_kv.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_net.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_net.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_sim.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/afceph_core_tests.dir/test_solidfire.cc.o"
+  "CMakeFiles/afceph_core_tests.dir/test_solidfire.cc.o.d"
+  "afceph_core_tests"
+  "afceph_core_tests.pdb"
+  "afceph_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afceph_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afceph_osd_tests.dir/test_osd.cc.o"
+  "CMakeFiles/afceph_osd_tests.dir/test_osd.cc.o.d"
+  "CMakeFiles/afceph_osd_tests.dir/test_properties.cc.o"
+  "CMakeFiles/afceph_osd_tests.dir/test_properties.cc.o.d"
+  "afceph_osd_tests"
+  "afceph_osd_tests.pdb"
+  "afceph_osd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afceph_osd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

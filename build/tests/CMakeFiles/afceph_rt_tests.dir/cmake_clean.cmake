@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afceph_rt_tests.dir/test_rt.cc.o"
+  "CMakeFiles/afceph_rt_tests.dir/test_rt.cc.o.d"
+  "afceph_rt_tests"
+  "afceph_rt_tests.pdb"
+  "afceph_rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afceph_rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
