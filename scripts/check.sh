@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-shot gate: configure Release, build, run the unit tests, and run the
+# event-core microbenchmark. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== bench/micro_sim (timing wheel vs reference heap) ==="
+"$BUILD_DIR/bench/micro_sim"

@@ -1,12 +1,26 @@
 #include "core/cluster_sim.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
 namespace afc::core {
 
+namespace {
+
+/// AFC_SIM_PROFILE=1 turns on the event-loop profiler for every bench that
+/// goes through ClusterSim; the counters print to stderr after each run.
+bool sim_profile_requested() {
+  const char* v = std::getenv("AFC_SIM_PROFILE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
 ClusterSim::ClusterSim(ClusterConfig cfg)
     : cfg_(std::move(cfg)),
       cmap_(cluster::ClusterMap::PoolConfig{cfg_.pg_num, cfg_.replication}) {
+  if (sim_profile_requested()) sim_.enable_profiling();
   // --- environment-dependent defaults ---------------------------------
   cfg_.ssd.sustained = cfg_.sustained;
   cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
@@ -111,6 +125,11 @@ RunResult ClusterSim::run(const client::WorkloadSpec& spec) {
   r.read_series = stats.read_series;
   r.verify_failures = stats.verify_failures;
   collect_osd_stats(r);
+  if (sim_.profiling_enabled()) {
+    Counters prof;
+    sim_.profile_into(prof);
+    std::fprintf(stderr, "--- sim profile ---\n%s", prof.to_string().c_str());
+  }
   return r;
 }
 

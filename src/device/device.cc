@@ -15,7 +15,7 @@ void Device::start(Submit* s) {
   if (lat == 0) {
     bus_enqueue(s);
   } else {
-    sim_.schedule_after(lat, [this, s] { bus_enqueue(s); });
+    sim_.schedule_after(lat, [this, s] { bus_enqueue(s); }, "dev.latency");
   }
 }
 
@@ -31,16 +31,19 @@ void Device::bus_enqueue(Submit* s) {
 void Device::bus_start(Submit* s) {
   const Time xfer = transfer_time(s->type_, s->len_);
   bus_busy_ns_ += xfer;
-  sim_.schedule_after(xfer, [this, s] {
-    if (!bus_queue_.empty()) {
-      Submit* next = bus_queue_.front();
-      bus_queue_.pop_front();
-      bus_start(next);
-    } else {
-      bus_busy_ = false;
-    }
-    finish(s);
-  });
+  sim_.schedule_after(
+      xfer,
+      [this, s] {
+        if (!bus_queue_.empty()) {
+          Submit* next = bus_queue_.front();
+          bus_queue_.pop_front();
+          bus_start(next);
+        } else {
+          bus_busy_ = false;
+        }
+        finish(s);
+      },
+      "dev.bus");
 }
 
 void Device::finish(Submit* s) {

@@ -70,7 +70,7 @@ sim::CoTask<void> Db::maybe_stall() {
   // it serializes all writers behind the stall, as the real DB does.
   if (l0_files() >= cfg_.l0_slowdown_threshold && l0_files() < cfg_.l0_stop_threshold) {
     stall_slowdowns_++;
-    co_await sim::delay(sim_, cfg_.l0_slowdown_delay);
+    co_await sim::delay(sim_, cfg_.l0_slowdown_delay, "kv.l0_slowdown");
   }
   while (l0_files() >= cfg_.l0_stop_threshold ||
          (imm_.has_value() && mem_.approximate_bytes() >= cfg_.memtable_bytes)) {

@@ -3,7 +3,12 @@
 namespace afc::net {
 
 Connection::Connection(Messenger& local, Messenger& remote, const Config& cfg)
-    : local_(local), remote_(remote), cfg_(cfg), tx_(local.simulation()), rx_(local.simulation()) {}
+    : local_(local),
+      remote_(remote),
+      cfg_(cfg),
+      tx_(local.simulation()),
+      rx_(local.simulation()),
+      nagle_timer_(local.simulation()) {}
 
 void Connection::send(Message m) {
   sent_++;
@@ -25,11 +30,14 @@ sim::CoTask<void> Connection::sender_loop() {
                       (m->size <= cfg_.nagle_max_size && (m->size % cfg_.mss) != 0);
     if (cfg_.nagle && runt && inflight_ <= 1) {
       nagle_stalls_++;
-      co_await sim::delay(local_.simulation(), cfg_.nagle_stall);
+      // Cancellable stall: close() drops the 3 ms deadline event off the
+      // timing wheel and wakes us to exit, instead of the old behaviour of
+      // sleeping through the stall on a dead connection.
+      if (!co_await nagle_timer_.sleep(cfg_.nagle_stall)) break;
     }
     co_await local_.node().cpu().consume(cfg_.send_cpu);
     co_await local_.node().nic_transmit(m->size);
-    co_await sim::delay(local_.simulation(), cfg_.prop_latency);
+    co_await sim::delay(local_.simulation(), cfg_.prop_latency, "net.propagation");
     co_await rx_.push(std::move(*m));
   }
 }
@@ -51,6 +59,7 @@ sim::CoTask<void> Connection::receiver_loop() {
 void Connection::close() {
   tx_.close();
   rx_.close();
+  nagle_timer_.cancel();
 }
 
 Messenger::Messenger(sim::Simulation& sim, Node& node, Receiver& rx, std::string name)

@@ -7,6 +7,7 @@
 
 #include "net/link.h"
 #include "sim/channel.h"
+#include "sim/task.h"
 
 namespace afc::net {
 
@@ -83,6 +84,7 @@ class Connection {
   Connection* reverse_ = nullptr;
   sim::Channel<Message> tx_;
   sim::Channel<Message> rx_;
+  sim::Timer nagle_timer_;  // cancellable: close() drops a stall in flight
   std::uint64_t inflight_ = 0;  // messages in this direction's pipelines
   std::uint64_t sent_ = 0;
   std::uint64_t nagle_stalls_ = 0;

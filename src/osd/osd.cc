@@ -724,7 +724,7 @@ sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
     if (bytes > 0) {
       co_await store_.read(oid, 0, data.size, /*want_data=*/false);
       co_await node_.nic_transmit(bytes + 512);
-      co_await sim::delay(sim_, 60 * kMicrosecond);
+      co_await sim::delay(sim_, 60 * kMicrosecond, "osd.push_hop");
     }
     co_await target.recover_object(oid, std::move(data));
     pushed++;

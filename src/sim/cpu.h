@@ -66,18 +66,21 @@ class CpuPool {
   };
 
   void run(std::coroutine_handle<> h, Time ns) {
-    sim_.schedule_after(ns, [this, h, ns] {
-      busy_ns_ += ns;
-      if (!waiters_.empty()) {
-        Waiter w = waiters_.front();
-        waiters_.pop_front();
-        queue_wait_ns_ += sim_.now() - w.enqueued;
-        run(w.h, w.ns);
-      } else {
-        free_++;
-      }
-      h.resume();
-    });
+    sim_.schedule_after(
+        ns,
+        [this, h, ns] {
+          busy_ns_ += ns;
+          if (!waiters_.empty()) {
+            Waiter w = waiters_.front();
+            waiters_.pop_front();
+            queue_wait_ns_ += sim_.now() - w.enqueued;
+            run(w.h, w.ns);
+          } else {
+            free_++;
+          }
+          h.resume();
+        },
+        "cpu.grant");
   }
 
   Simulation& sim_;

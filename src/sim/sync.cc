@@ -4,13 +4,28 @@ namespace afc::sim {
 
 void CondVar::notify_one() {
   if (waiters_.empty()) return;
-  auto h = waiters_.front();
+  WaitNode n = waiters_.front();
   waiters_.pop_front();
-  sim_.schedule_after(0, [h] { h.resume(); });
+  // A timed waiter's deadline event is dropped off the wheel right here,
+  // instead of executing as a tombstone at the deadline.
+  if (n.timed != nullptr) sim_.cancel(n.timed->token_);
+  const auto h = n.h;
+  sim_.schedule_after(0, [h] { h.resume(); }, "sync.cv_notify");
 }
 
 void CondVar::notify_all() {
   while (!waiters_.empty()) notify_one();
+}
+
+void CondVar::TimedWaiter::on_timeout() {
+  timed_out_ = true;
+  for (auto it = cv_.waiters_.begin(); it != cv_.waiters_.end(); ++it) {
+    if (it->timed == this) {
+      cv_.waiters_.erase(it);
+      break;
+    }
+  }
+  h_.resume();
 }
 
 bool Mutex::try_lock() {
@@ -30,7 +45,7 @@ void Mutex::unlock() {
   auto h = waiters_.front();
   waiters_.pop_front();
   acquisitions_++;
-  sim_.schedule_after(0, [h] { h.resume(); });
+  sim_.schedule_after(0, [h] { h.resume(); }, "sync.mutex_handoff");
 }
 
 bool Semaphore::try_acquire(std::uint64_t n) {
@@ -67,7 +82,7 @@ void Semaphore::dispatch_waiters() {
     const auto h = w->handle_;
     // Resume through the event queue: `w` lives on the suspended coroutine's
     // frame and stays valid until that coroutine runs.
-    sim_.schedule_after(0, [h] { h.resume(); });
+    sim_.schedule_after(0, [h] { h.resume(); }, "sync.sem_grant");
   }
 }
 

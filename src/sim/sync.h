@@ -21,15 +21,45 @@ class CondVar {
    public:
     explicit Waiter(CondVar& cv) : cv_(cv) {}
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { cv_.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) { cv_.waiters_.push_back(WaitNode{h, nullptr}); }
     void await_resume() const noexcept {}
 
    private:
     CondVar& cv_;
   };
 
+  /// Timed wait: resumes on notify (await returns true) or after `timeout`
+  /// ns (returns false). Whichever side loses drops its pending state at
+  /// cancel time — a notify cancels the deadline event off the timing wheel
+  /// (no tombstone executes later), a timeout removes the waiter from the
+  /// notify queue.
+  class TimedWaiter {
+   public:
+    TimedWaiter(CondVar& cv, Time timeout) : cv_(cv), timeout_(timeout) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      h_ = h;
+      cv_.waiters_.push_back(WaitNode{h, this});
+      token_ = cv_.sim_.schedule_after(timeout_, [w = this] { w->on_timeout(); },
+                                       "sync.cv_timeout");
+    }
+    bool await_resume() const noexcept { return !timed_out_; }
+
+   private:
+    friend class CondVar;
+    void on_timeout();
+    CondVar& cv_;
+    Time timeout_;
+    std::coroutine_handle<> h_{};
+    TimerToken token_;
+    bool timed_out_ = false;
+  };
+
   /// Suspend until notified (spurious wakeups possible; re-check predicate).
   Waiter wait() { return Waiter(*this); }
+
+  /// Suspend until notified or `timeout` ns pass; see TimedWaiter.
+  TimedWaiter wait_for(Time timeout) { return TimedWaiter(*this, timeout); }
 
   void notify_one();
   void notify_all();
@@ -38,8 +68,13 @@ class CondVar {
 
  private:
   friend class Waiter;
+  friend class TimedWaiter;
+  struct WaitNode {
+    std::coroutine_handle<> h;
+    TimedWaiter* timed;  // null for plain wait()
+  };
   Simulation& sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<WaitNode> waiters_;
 };
 
 /// FIFO mutex for simulated coroutines, with contention statistics: the
@@ -231,6 +266,12 @@ class OneShot {
   explicit OneShot(Simulation& sim) : cv_(sim) {}
   CoTask<void> wait() {
     while (!set_) co_await cv_.wait();
+  }
+  /// Wait with a deadline: true if set() arrived within `timeout` ns. Only
+  /// set() notifies, so a single timed wait suffices (no spurious wakeups).
+  CoTask<bool> wait_for(Time timeout) {
+    if (!set_) co_await cv_.wait_for(timeout);
+    co_return set_;
   }
   void set() {
     set_ = true;

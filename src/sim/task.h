@@ -177,21 +177,85 @@ void spawn_fn(Fn fn) {
 
 /// Awaitable that suspends the current coroutine for `delay` virtual ns.
 /// Even a zero delay yields through the event queue (fair round-robin).
+/// `site` feeds the event-loop profiler's per-call-site counts.
 class Delay {
  public:
-  Delay(Simulation& sim, Time delay) : sim_(sim), delay_(delay) {}
+  Delay(Simulation& sim, Time delay, const char* site = "sim.delay")
+      : sim_(sim), delay_(delay), site_(site) {}
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    sim_.schedule_after(delay_, [h] { h.resume(); });
+    sim_.schedule_after(delay_, [h] { h.resume(); }, site_);
   }
   void await_resume() const noexcept {}
 
  private:
   Simulation& sim_;
   Time delay_;
+  const char* site_;
 };
 
-inline Delay delay(Simulation& sim, Time d) { return Delay(sim, d); }
-inline Delay yield(Simulation& sim) { return Delay(sim, 0); }
+inline Delay delay(Simulation& sim, Time d, const char* site = "sim.delay") {
+  return Delay(sim, d, site);
+}
+inline Delay yield(Simulation& sim) { return Delay(sim, 0, "sim.yield"); }
+
+/// Cancellable one-shot sleep. `co_await timer.sleep(d)` suspends for `d`
+/// virtual ns and resumes with `true`; a concurrent `cancel()` drops the
+/// pending wheel event (no tombstone executes at the deadline) and resumes
+/// the sleeper immediately with `false`. One sleep may be in flight per
+/// Timer, and the Timer must outlive it — embed it in the owning object
+/// (see net::Connection's Nagle stall).
+class Timer {
+ public:
+  explicit Timer(Simulation& sim) : sim_(sim) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  class Sleep {
+   public:
+    Sleep(Timer& t, Time d) : t_(t), d_(d) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      t_.h_ = h;
+      t_.cancelled_ = false;
+      t_.armed_ = true;
+      t_.token_ = t_.sim_.schedule_after(d_, [t = &t_] { t->fire(); }, "sim.timer");
+    }
+    /// true: slept the full duration; false: cancel() cut it short.
+    bool await_resume() const noexcept { return !t_.cancelled_; }
+
+   private:
+    Timer& t_;
+    Time d_;
+  };
+
+  Sleep sleep(Time d) { return Sleep(*this, d); }
+
+  /// Drop the pending deadline and wake the sleeper now (on the next
+  /// event-loop turn, like every resumption). Returns false when no sleep
+  /// is in flight or the deadline already fired.
+  bool cancel() {
+    if (!armed_ || !sim_.cancel(token_)) return false;
+    cancelled_ = true;
+    sim_.schedule_after(0, [t = this] { t->fire(); }, "sim.timer_cancel");
+    return true;
+  }
+
+  bool armed() const { return armed_; }
+
+ private:
+  void fire() {
+    armed_ = false;
+    auto h = h_;
+    h_ = {};
+    h.resume();
+  }
+
+  Simulation& sim_;
+  std::coroutine_handle<> h_{};
+  TimerToken token_;
+  bool armed_ = false;
+  bool cancelled_ = false;
+};
 
 }  // namespace afc::sim

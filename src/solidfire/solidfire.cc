@@ -1,5 +1,8 @@
 #include "solidfire/solidfire.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace afc::sf {
 
 SolidFireCluster::SolidFireCluster(Config cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
@@ -38,7 +41,7 @@ sim::CoTask<void> SolidFireCluster::chunk_write(std::uint64_t fingerprint) {
   h.pending_destage += cfg_.chunk;
   h.destage_cv->notify_one();
   co_await h.nvram->submit(dev::IoType::kWrite, 0, cfg_.chunk);
-  co_await sim::delay(sim_, cfg_.net_hop);
+  co_await sim::delay(sim_, cfg_.net_hop, "sf.net_hop");
   co_await nodes_[mirror].nvram->submit(dev::IoType::kWrite, 0, cfg_.chunk);
 }
 
@@ -104,6 +107,9 @@ SolidFireCluster::Result SolidFireCluster::run(const client::WorkloadSpec& spec)
   Result out;
   if (ran_) return out;
   ran_ = true;
+  if (const char* v = std::getenv("AFC_SIM_PROFILE"); v != nullptr && v[0] != '\0' && v[0] != '0') {
+    sim_.enable_profiling();
+  }
   client::RunStats stats;
   stats.window_start = spec.warmup;
   stats.window_end = spec.warmup + spec.runtime;
@@ -118,6 +124,11 @@ SolidFireCluster::Result SolidFireCluster::run(const client::WorkloadSpec& spec)
   out.write_lat_ms = stats.write_lat.mean_ms();
   out.read_lat_ms = stats.read_lat.mean_ms();
   out.dedup_hit_rate = chunk_writes_ == 0 ? 0.0 : double(dedup_hits_) / double(chunk_writes_);
+  if (sim_.profiling_enabled()) {
+    Counters prof;
+    sim_.profile_into(prof);
+    std::fprintf(stderr, "--- sim profile ---\n%s", prof.to_string().c_str());
+  }
   return out;
 }
 

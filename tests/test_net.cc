@@ -176,5 +176,24 @@ TEST(Messenger, PerConnectionCpuTaxGrowsWithConnections) {
   EXPECT_GT(busy_many, busy_one + 50 * kMicrosecond);
 }
 
+TEST(Messenger, CloseCancelsNagleStallInFlight) {
+  // A runt message on an idle connection parks the sender in a 3 ms Nagle
+  // stall. close() must cancel that timer off the wheel and wake the sender
+  // to exit — not sleep through the stall on a dead connection.
+  NetFixture f;
+  Connection::Config cfg;
+  cfg.nagle = true;
+  cfg.nagle_stall = 3 * kMillisecond;
+  Connection* c = f.ma.connect(f.mb, cfg);
+  c->send(msg(1, 4246));
+  // Let the sender reach the stall, then close mid-stall.
+  f.sim.run_until(100 * kMicrosecond);
+  EXPECT_EQ(c->nagle_stalls(), 1u);
+  f.ma.close_all();
+  f.sim.run();
+  EXPECT_TRUE(f.rx_b.types.empty());          // the message never went out
+  EXPECT_LT(f.sim.now(), 3 * kMillisecond);   // and we never slept to the deadline
+}
+
 }  // namespace
 }  // namespace afc::net

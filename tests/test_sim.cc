@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
 #include "sim/channel.h"
 #include "sim/cpu.h"
 #include "sim/simulation.h"
@@ -495,6 +500,269 @@ TEST(CpuPool, QueueWaitAccounted) {
   sim.run();
   EXPECT_EQ(cpu.total_queue_wait_ns(), 100u);
   EXPECT_EQ(cpu.queued(), 0u);
+}
+
+// --- timing-wheel vs reference-heap determinism ------------------------------
+//
+// The wheel replaced a std::priority_queue ordered by (time, seq). The whole
+// point of keeping FIFO tie-break was bit-reproducible runs, so pit the wheel
+// against a reference heap on an adversarial schedule: equal timestamps,
+// deltas straddling every level boundary, >2^48 overflow horizons, clamped
+// past schedules, nested scheduling from inside events, and cancellations
+// (including stale tokens). Both must produce the identical (id, time) trace.
+
+class RefHeap {
+ public:
+  struct Token {
+    std::size_t id = SIZE_MAX;
+  };
+
+  Time now() const { return now_; }
+
+  Token schedule_at(Time t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    state_.push_back(kPending);
+    events_.push(Ev{t, seq_++, state_.size() - 1, std::move(fn)});
+    return Token{state_.size() - 1};
+  }
+  Token schedule_after(Time d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  bool cancel(Token tok) {
+    if (tok.id >= state_.size() || state_[tok.id] != kPending) return false;
+    state_[tok.id] = kCancelled;
+    return true;
+  }
+
+  void run() {
+    while (!events_.empty()) {
+      Ev ev = std::move(const_cast<Ev&>(events_.top()));
+      events_.pop();
+      now_ = ev.t;
+      if (state_[ev.id] == kCancelled) continue;  // tombstone
+      state_[ev.id] = kDone;
+      ev.fn();
+    }
+  }
+
+ private:
+  enum State : char { kPending, kCancelled, kDone };
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    std::size_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> events_;
+  std::vector<char> state_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+// Thin wheel adapter giving Simulation the same Token surface as RefHeap.
+class WheelRef {
+ public:
+  using Token = TimerToken;
+  Time now() const { return sim_.now(); }
+  Token schedule_at(Time t, EventFn fn) { return sim_.schedule_at(t, fn); }
+  Token schedule_after(Time d, EventFn fn) { return sim_.schedule_after(d, fn); }
+  bool cancel(Token tok) { return sim_.cancel(tok); }
+  void run() { sim_.run(); }
+
+ private:
+  Simulation sim_;
+};
+
+template <class S>
+struct Adversary {
+  S sched;
+  std::vector<std::pair<std::uint64_t, Time>> trace;
+  std::vector<typename S::Token> tokens;
+  std::uint64_t spawned = 0;
+  std::uint32_t rng = 0x2545f491u;
+  static constexpr std::uint64_t kMaxSpawn = 5000;
+
+  std::uint32_t rand() { return rng = rng * 1664525u + 1013904223u; }
+
+  void seed_and_run() {
+    for (std::uint64_t i = 0; i < 8; i++) spawn_child(i * 1000);
+    sched.run();
+  }
+
+  void spawn_child(std::uint64_t id) {
+    // Deltas straddle the 64-slot level boundaries (63/64/65, 4095/4096),
+    // include plenty of ties (0 twice), and overflow past the 2^48 ns wheel
+    // range. One in eight is a clamped schedule into the past.
+    static constexpr Time kDeltas[] = {0,        0,          1,           63,
+                                       64,       65,         4095,        4096,
+                                       1u << 20, 1ull << 30, (1ull << 48) + 12345};
+    const std::uint32_t r = rand();
+    spawned++;
+    if ((r & 7u) == 0) {
+      const Time past = sched.now() > 500 ? sched.now() - 500 : 0;
+      tokens.push_back(sched.schedule_at(past, [this, id] { fire(id); }));
+    } else {
+      tokens.push_back(
+          sched.schedule_after(kDeltas[r % 11u], [this, id] { fire(id); }));
+    }
+  }
+
+  void fire(std::uint64_t id) {
+    trace.emplace_back(id, sched.now());
+    // Every third firing, cancel a deterministically-picked token; it is
+    // often stale (already fired) — both schedulers must agree it's a no-op.
+    if (trace.size() % 3 == 0 && !tokens.empty()) {
+      sched.cancel(tokens[(id * 2654435761u) % tokens.size()]);
+    }
+    if (spawned >= kMaxSpawn) return;
+    spawn_child(id * 2 + 1);
+    spawn_child(id * 2 + 2);
+  }
+};
+
+TEST(Simulation, WheelMatchesReferenceHeapOnAdversarialSchedule) {
+  Adversary<WheelRef> wheel;
+  Adversary<RefHeap> heap;
+  wheel.seed_and_run();
+  heap.seed_and_run();
+  ASSERT_EQ(wheel.trace.size(), heap.trace.size());
+  for (std::size_t i = 0; i < wheel.trace.size(); i++) {
+    ASSERT_EQ(wheel.trace[i].first, heap.trace[i].first) << "at trace index " << i;
+    ASSERT_EQ(wheel.trace[i].second, heap.trace[i].second) << "at trace index " << i;
+  }
+  EXPECT_GT(wheel.trace.size(), 1000u);  // the schedule actually ran deep
+}
+
+// --- cancellable timers ------------------------------------------------------
+
+TEST(Simulation, CancelDropsEventAndInvalidatesToken) {
+  Simulation sim;
+  int fired = 0;
+  TimerToken a = sim.schedule_after(10, [&] { fired += 1; });
+  sim.schedule_after(20, [&] { fired += 10; });
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.cancel(a));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.executed_events(), 1u);  // the cancelled event never executed
+  EXPECT_FALSE(sim.cancel(a));           // stale after run, still a no-op
+}
+
+TEST(Simulation, CancelAfterExecutionReturnsFalse) {
+  Simulation sim;
+  TimerToken a = sim.schedule_after(5, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(a));
+}
+
+TEST(Simulation, FarFutureOverflowKeepsOrder) {
+  // Beyond 2^48 ns the wheel spills to an overflow map; events must still
+  // come back in (time, seq) order, interleaved with near-term events.
+  Simulation sim;
+  std::vector<int> order;
+  const Time far = (Time(1) << 48) + 777;
+  sim.schedule_at(far, [&] { order.push_back(2); });
+  sim.schedule_at(far, [&] { order.push_back(3); });  // FIFO tie at far
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(far + 1, [&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), far + 1);
+}
+
+TEST(Simulation, FifoPreservedAcrossDifferentCascadePaths) {
+  // Three events land on the same timestamp via different routes: scheduled
+  // from t=0 (deep level, cascades down), from t=5000 (mid level), and from
+  // t=9999 (level 0 directly). FIFO must still follow schedule order.
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(10000, [&] { order.push_back(1); });
+  sim.schedule_at(5000, [&] { sim.schedule_at(10000, [&] { order.push_back(2); }); });
+  sim.schedule_at(9999, [&] { sim.schedule_at(10000, [&] { order.push_back(3); }); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, RunUntilAdvancesNowWhenDrained) {
+  Simulation sim;
+  sim.schedule_at(5, [] {});
+  EXPECT_FALSE(sim.run_until(100));  // drained before the horizon
+  EXPECT_EQ(sim.now(), 100u);       // contract: now() == t either way
+  sim.schedule_at(200, [] {});
+  EXPECT_TRUE(sim.run_until(150));  // event remains beyond the horizon
+  EXPECT_EQ(sim.now(), 150u);
+  EXPECT_FALSE(sim.run_until(200));  // executes at exactly t, drains the queue
+  EXPECT_EQ(sim.now(), 200u);
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Timer, SleepExpiresTrueCancelFalse) {
+  Simulation sim;
+  Timer t(sim);
+  bool full_sleep = false;
+  bool cut_short = true;
+  Time woke_at = 0;
+  auto sleeper = [&]() -> CoTask<void> {
+    full_sleep = co_await t.sleep(100);
+    cut_short = co_await t.sleep(100);
+    woke_at = sim.now();
+  };
+  spawn(sleeper());
+  // Cancel the second sleep mid-flight at t=110.
+  sim.schedule_at(110, [&] { EXPECT_TRUE(t.cancel()); });
+  sim.run();
+  EXPECT_TRUE(full_sleep);    // first sleep ran its full 100 ns
+  EXPECT_FALSE(cut_short);    // second was cancelled
+  EXPECT_EQ(woke_at, 110u);   // woke at cancel time, not the 200 ns deadline
+  EXPECT_FALSE(t.cancel());   // nothing armed now
+}
+
+TEST(CondVar, WaitForTimesOutWithoutNotify) {
+  Simulation sim;
+  CondVar cv(sim);
+  bool notified = true;
+  auto waiter = [&]() -> CoTask<void> { notified = co_await cv.wait_for(500); };
+  spawn(waiter());
+  sim.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(CondVar, NotifyCancelsDeadlineOffTheWheel) {
+  Simulation sim;
+  CondVar cv(sim);
+  bool notified = false;
+  auto waiter = [&]() -> CoTask<void> { notified = co_await cv.wait_for(500); };
+  spawn(waiter());
+  sim.schedule_at(10, [&] { cv.notify_one(); });
+  sim.run();
+  EXPECT_TRUE(notified);
+  // The 500 ns deadline was cancelled, not left to fire as a tombstone:
+  // after draining, the clock never reached it.
+  EXPECT_LT(sim.now(), 500u);
+}
+
+TEST(OneShot, WaitForHonorsTimeoutAndSet) {
+  Simulation sim;
+  OneShot early(sim), never(sim);
+  bool got_early = false, got_never = true;
+  auto w1 = [&]() -> CoTask<void> { got_early = co_await early.wait_for(1000); };
+  auto w2 = [&]() -> CoTask<void> { got_never = co_await never.wait_for(1000); };
+  spawn(w1());
+  spawn(w2());
+  sim.schedule_at(50, [&] { early.set(); });
+  sim.run();
+  EXPECT_TRUE(got_early);
+  EXPECT_FALSE(got_never);
 }
 
 }  // namespace
