@@ -13,6 +13,7 @@
 // lock-bound delay. We print the same breakdown for AFCeph to show the
 // lock-bound stages collapsing.
 
+#include <array>
 #include <cstdio>
 
 #include "afceph.h"
@@ -21,16 +22,9 @@ using namespace afc;
 
 namespace {
 
-const char* kStageNames[] = {
-    "message received (dispatch)",
-    "(1) OP_WQ dequeue (queue wait)",
-    "(2) submit op to PG backend",
-    "(3) journal queued (throttles)",
-    "(4) journal write complete",
-    "(5) commit to PG backend",
-    "(6) replica commits processed",
-    "(7) ack sent to client",
-};
+// Stage labels come from the shared table (common/stage_names.h), the same
+// strings the trace collector interns — bench output and trace JSON cannot
+// drift apart.
 
 void run_profile(const core::Profile& profile) {
   core::ClusterConfig cfg;
@@ -43,22 +37,35 @@ void run_profile(const core::Profile& profile) {
   spec.runtime = 1200 * kMillisecond;
   auto r = cluster.run(spec);
 
+  // Per-stage means: with AFC_SIM_TRACE set this bench is a thin consumer of
+  // the trace collector's histograms; otherwise it reads the OSDs' merged
+  // boundary histograms. The two sources see the identical records (the OSD
+  // mirrors its stamps into the collector), so the table is the same either
+  // way — tracing only adds the exported span file.
+  trace::Collector* tr = cluster.tracer();
+  std::array<double, osd::kStageCount> stage_ms{};
+  double total_ms = r.write_path_total_ms;
+  for (unsigned s = 1; s < osd::kStageCount; s++) {
+    stage_ms[s] = tr != nullptr ? tr->stage_mean_ms(kWriteStageNames[s]) : r.stage_ms[s];
+  }
+  if (tr != nullptr) total_ms = tr->stage_mean_ms(stage::kWriteOp);
+
   std::printf("\n%s  (%.0f IOPS, client mean %.2f ms)\n", profile.name.c_str(), r.write_iops,
               r.write_lat_ms);
   Table t({"stage", "mean delta (ms)"});
   double cum = 0.0;
   for (unsigned s = 1; s < osd::kStageCount; s++) {
-    cum += r.stage_ms[s];
-    t.row({kStageNames[s], Table::num(r.stage_ms[s], 2)});
+    cum += stage_ms[s];
+    t.row({kWriteStageNames[s], Table::num(stage_ms[s], 2)});
   }
-  t.row({"TOTAL (OSD write path)", Table::num(r.write_path_total_ms, 2)});
+  t.row({"TOTAL (OSD write path)", Table::num(total_ms, 2)});
   t.print();
 
   // PG-lock-attributable time: queue/lock wait before processing, the
   // lock-held throttle waits, and the lock-bound completion/ack stages.
-  const double lock_bound = r.stage_ms[1] + r.stage_ms[3] + r.stage_ms[5] + r.stage_ms[7];
+  const double lock_bound = stage_ms[1] + stage_ms[3] + stage_ms[5] + stage_ms[7];
   std::printf("PG-lock-bound stages (1)+(3)+(5)+(7): %.2f ms of %.2f ms total\n", lock_bound,
-              r.write_path_total_ms);
+              total_ms);
   std::printf("measured PG-lock wait inside OSDs: %.1f ms per op average\n",
               r.write_iops > 0 ? to_ms(r.pg_lock_wait_ns) / (r.write_iops * 1.2) : 0.0);
 }

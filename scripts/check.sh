@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# One-shot gate: configure Release, build, run the unit tests, and run the
-# event-core microbenchmark. Exits non-zero on the first failure.
+# One-shot gate: configure Release, build, run the unit tests, run the
+# event-core microbenchmark, and smoke-test the op tracer (including
+# validating the exported Chrome trace JSON). Exits non-zero on the first
+# failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,3 +16,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo
 echo "=== bench/micro_sim (timing wheel vs reference heap) ==="
 "$BUILD_DIR/bench/micro_sim"
+
+echo
+echo "=== bench/trace_smoke (op tracer end to end, AFC_SIM_TRACE=1) ==="
+TRACE_JSON="$BUILD_DIR/trace_smoke.json"
+AFC_SIM_TRACE=1 AFC_SIM_TRACE_OUT="$TRACE_JSON" "$BUILD_DIR/bench/trace_smoke"
+python3 -m json.tool "$TRACE_JSON" > /dev/null
+echo "trace JSON OK: $TRACE_JSON"

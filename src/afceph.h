@@ -19,11 +19,13 @@
 #include "common/histogram.h"
 #include "common/payload.h"
 #include "common/rng.h"
+#include "common/stage_names.h"
 #include "common/table.h"
 #include "common/timeseries.h"
 #include "core/cluster_sim.h"
 #include "core/profile.h"
 #include "core/report.h"
+#include "core/trace.h"
 #include "device/hdd.h"
 #include "device/nvram.h"
 #include "device/ssd.h"

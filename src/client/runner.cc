@@ -1,5 +1,7 @@
 #include "client/runner.h"
 
+#include "common/stage_names.h"
+
 namespace afc::client {
 
 void RunStats::record(bool is_write, Time issued, Time completed) {
@@ -128,13 +130,23 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
   issued_++;
   if (op_cpu_ > 0) co_await msgr_.node().cpu().consume(op_cpu_);
 
+  const trace::Span span = trace::Collector::active() != nullptr
+                               ? trace::Span{msg->op_id, trace::client_track(client_id_)}
+                               : trace::Span{};
+  const Time submit_t0 = sim_.now();
   net::Message wire;
   wire.type = is_write ? osd::kClientWrite : osd::kClientRead;
   wire.size = (is_write ? msg->data.size() : 0) + 150;
   wire.body = std::move(msg);
+  wire.trace = span;
   conn_it->second->send(std::move(wire));
 
   co_await done.wait();
+  // client.io: submit → completion as the VM sees it, the outermost span of
+  // a traced op (everything the OSD-side stages decompose nests inside it).
+  if (auto* tr = trace::Collector::active(); tr != nullptr && span.valid()) {
+    tr->complete(span, tr->stage_id(stage::kClientIo), submit_t0, sim_.now());
+  }
   co_return p;
 }
 

@@ -1,0 +1,46 @@
+#pragma once
+
+namespace afc {
+
+/// Canonical names for every instrumented boundary of the op pipeline.
+/// This is the ONE table shared by the Fig. 3 bench, the trace::Collector's
+/// histograms/JSON, and docs/TRACING.md — all three intern or print these
+/// exact strings (via InternPool in the collector), so the stage taxonomy
+/// cannot drift between bench output, trace files, and documentation.
+
+/// Fig. 3 write-path boundary deltas, indexed by osd::Stage. Entry 0 is the
+/// arrival point (not a delta); entries 1..7 are the per-stage latencies the
+/// paper's Figure 3 breaks a 4K write into.
+inline constexpr const char* kWriteStageNames[] = {
+    "message received (dispatch)",
+    "(1) OP_WQ dequeue (queue wait)",
+    "(2) submit op to PG backend",
+    "(3) journal queued (throttles)",
+    "(4) journal write complete",
+    "(5) commit to PG backend",
+    "(6) replica commits processed",
+    "(7) ack sent to client",
+};
+inline constexpr unsigned kWriteStageCount =
+    unsigned(sizeof(kWriteStageNames) / sizeof(kWriteStageNames[0]));
+
+/// Span stages beyond the Fig. 3 boundaries: waits and substrate work that
+/// the write-path deltas contain but cannot attribute (which device, which
+/// queue). One name per instrumented site; see docs/TRACING.md.
+namespace stage {
+inline constexpr const char* kClientIo = "client.io";             // submit → completion, client side
+inline constexpr const char* kNetWire = "net.wire";               // messenger send → delivery
+inline constexpr const char* kDispatchThrottle = "osd.dispatch.throttle";  // client-message cap wait
+inline constexpr const char* kPgLockWait = "osd.pg_lock.wait";    // PG lock / pending-queue wait
+inline constexpr const char* kJournalThrottle = "osd.journal.throttle";    // fs/journal throttles + reserve
+inline constexpr const char* kJournalWrite = "journal.write";     // submit → durable on NVRAM
+inline constexpr const char* kReplication = "osd.replication";    // repops sent → all commits seen
+inline constexpr const char* kWriteOp = "osd.write_op";           // dispatch → client ack (total)
+inline constexpr const char* kReadOp = "osd.read_op";             // dispatch → read reply
+inline constexpr const char* kFsApply = "fs.apply";               // filestore transaction apply
+inline constexpr const char* kKvWrite = "kv.write";               // omap/KV WAL+memtable write
+inline constexpr const char* kRtThrottle = "rt.throttle.wait";    // real-threads throttle block
+inline constexpr const char* kRtOpQueue = "rt.opwq.wait";         // real-threads op-queue wait
+}  // namespace stage
+
+}  // namespace afc

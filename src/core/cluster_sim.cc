@@ -15,12 +15,26 @@ bool sim_profile_requested() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// Destination for the env-requested trace export; numbered when one process
+/// runs several clusters (e.g. fig03's community + AFCeph profiles).
+std::string trace_out_path() {
+  const char* v = std::getenv("AFC_SIM_TRACE_OUT");
+  std::string path = (v != nullptr && v[0] != '\0') ? v : "afc_trace.json";
+  static int exports = 0;
+  if (++exports > 1) path += "." + std::to_string(exports);
+  return path;
+}
+
 }  // namespace
 
 ClusterSim::ClusterSim(ClusterConfig cfg)
     : cfg_(std::move(cfg)),
       cmap_(cluster::ClusterMap::PoolConfig{cfg_.pg_num, cfg_.replication}) {
   if (sim_profile_requested()) sim_.enable_profiling();
+  if (trace::Collector::env_requested() && trace::Collector::active() == nullptr) {
+    tracer_ = std::make_unique<trace::Collector>();
+    trace::Collector::install(tracer_.get());
+  }
   // --- environment-dependent defaults ---------------------------------
   cfg_.ssd.sustained = cfg_.sustained;
   cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
@@ -58,6 +72,9 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     osds_.push_back(std::make_unique<osd::Osd>(
         sim_, *osd_nodes_[node], *nvrams_[node], *ssds_[i], cmap_, i, cfg_.osd, cfg_.profile,
         cfg_.fs, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
+    if (auto* tr = trace::Collector::active()) {
+      tr->name_track(trace::osd_track(i), "osd." + std::to_string(i));
+    }
   }
 
   // --- PG instantiation --------------------------------------------------
@@ -88,6 +105,9 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
         sim_, host, cmap_, client::RbdImage("vm" + std::to_string(v), cfg_.image_size),
         /*client_id=*/v + 1, cfg_.seed + 7919 * (v + 1)));
     vms_.back()->set_op_cpu(cfg_.client_op_cpu);
+    if (auto* tr = trace::Collector::active()) {
+      tr->name_track(trace::client_track(v + 1), "vm." + std::to_string(v));
+    }
     for (unsigned i = 0; i < total_osds; i++) {
       net::Connection* conn = vms_.back()->messenger().connect(osds_[i]->messenger(), client_net);
       vms_.back()->add_osd_conn(i, conn);
@@ -95,7 +115,11 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
   }
 }
 
-ClusterSim::~ClusterSim() = default;
+ClusterSim::~ClusterSim() {
+  if (tracer_ != nullptr && trace::Collector::active() == tracer_.get()) {
+    trace::Collector::install(nullptr);
+  }
+}
 
 RunResult ClusterSim::run(const client::WorkloadSpec& spec) {
   if (ran_) return RunResult{};  // single-shot facade
@@ -129,6 +153,16 @@ RunResult ClusterSim::run(const client::WorkloadSpec& spec) {
     Counters prof;
     sim_.profile_into(prof);
     std::fprintf(stderr, "--- sim profile ---\n%s", prof.to_string().c_str());
+  }
+  if (tracer_ != nullptr) {
+    // Env-owned collector: flush the flight recorder to Chrome trace JSON.
+    const std::string path = trace_out_path();
+    const bool ok = tracer_->export_chrome_json_file(path);
+    std::fprintf(stderr, "--- trace: %llu spans (%llu dropped, %llu mismatched) -> %s%s ---\n",
+                 static_cast<unsigned long long>(tracer_->spans_recorded()),
+                 static_cast<unsigned long long>(tracer_->spans_dropped()),
+                 static_cast<unsigned long long>(tracer_->mismatched()), path.c_str(),
+                 ok ? "" : " (WRITE FAILED)");
   }
   return r;
 }
@@ -225,6 +259,9 @@ sim::CoTask<std::uint64_t> ClusterSim::add_node() {
     osds_.push_back(std::make_unique<osd::Osd>(
         sim_, *osd_nodes_[node_index], *nvrams_[node_index], *ssds_[id], cmap_, id, cfg_.osd,
         cfg_.profile, cfg_.fs, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
+    if (auto* tr = trace::Collector::active()) {
+      tr->name_track(trace::osd_track(id), "osd." + std::to_string(id));
+    }
   }
   // Wire the new OSDs to everyone (existing OSDs and all VMs).
   for (std::size_t n = first_new; n < osds_.size(); n++) {

@@ -6,6 +6,7 @@
 
 #include "client/runner.h"
 #include "core/profile.h"
+#include "core/trace.h"
 #include "device/nvram.h"
 #include "device/ssd.h"
 #include "osd/osd.h"
@@ -109,6 +110,10 @@ class ClusterSim {
   net::Node& osd_node(std::size_t i) { return *osd_nodes_[i]; }
   dev::SsdModel& osd_ssd(std::size_t i) { return *ssds_[i]; }
   const ClusterConfig& config() const { return cfg_; }
+  /// The op-trace collector observing this cluster, or nullptr when tracing
+  /// is off. Installed by the constructor when AFC_SIM_TRACE is set; tests
+  /// and benches may instead install their own before construction.
+  trace::Collector* tracer() const { return trace::Collector::active(); }
 
   // --- elasticity & failure handling -------------------------------------
   /// Take an OSD out of the CRUSH map (failure / decommission), recompute
@@ -145,6 +150,9 @@ class ClusterSim {
       const std::vector<std::vector<std::uint32_t>>& old_acting);
 
   ClusterConfig cfg_;
+  /// Owned only when this ClusterSim installed the collector itself (env
+  /// opt-in); run() then also exports the Chrome JSON on completion.
+  std::unique_ptr<trace::Collector> tracer_;
   sim::Simulation sim_;
   cluster::ClusterMap cmap_;
   std::vector<std::unique_ptr<net::Node>> osd_nodes_;

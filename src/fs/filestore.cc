@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stage_names.h"
+
 namespace afc::fs {
 
 FileStore::FileStore(sim::Simulation& sim, sim::CpuPool& cpu, dev::Device& data_dev,
@@ -137,10 +139,12 @@ void FileStore::write_extent(Object& obj, std::uint64_t off, Payload data) {
 
 sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool lightweight) {
   applies_++;
+  const Time apply_t0 = sim_.now();
   co_await cpu_.consume(Time(double(cfg_.apply_cpu) * cfg_.cpu_multiplier));
   co_await charge_syscalls(lightweight ? cfg_.syscalls_per_txn_light
                                        : cfg_.syscalls_per_txn_community);
   kv::WriteBatch batch;  // light path accumulates all KV work into one batch
+  batch.trace = tx.trace;
   for (const auto& op : tx.ops()) {
     co_await charge_syscalls(lightweight ? cfg_.syscalls_per_op_light
                                          : cfg_.syscalls_per_op_community);
@@ -168,7 +172,7 @@ sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool light
         if (lightweight) {
           for (const auto& [k, v] : op.omap) batch.put(k, v);
         } else {
-          for (const auto& [k, v] : op.omap) co_await omap_.put(k, v);
+          for (const auto& [k, v] : op.omap) co_await omap_.put(k, v, tx.trace);
         }
         break;
       }
@@ -177,7 +181,7 @@ sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool light
         if (lightweight) {
           for (auto& k : keys) batch.del(std::move(k));
         } else {
-          for (auto& k : keys) co_await omap_.del(std::move(k));
+          for (auto& k : keys) co_await omap_.del(std::move(k), tx.trace);
         }
         break;
       }
@@ -197,6 +201,11 @@ sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool light
     }
   }
   if (batch.size() > 0) co_await omap_.write(std::move(batch));
+  // fs.apply: CPU + syscalls + data write (or buffering) + KV metadata for
+  // the whole transaction.
+  if (auto* tr = trace::Collector::active(); tr != nullptr && tx.trace.valid()) {
+    tr->complete(tx.trace, tr->stage_id(stage::kFsApply), apply_t0, sim_.now());
+  }
 }
 
 sim::CoTask<FileStore::ReadResult> FileStore::read(const ObjectId& oid, std::uint64_t off,

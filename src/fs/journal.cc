@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/stage_names.h"
+
 namespace afc::fs {
 
 Journal::Journal(sim::Simulation& sim, dev::Device& nvram, const Config& cfg)
@@ -15,11 +17,17 @@ sim::CoTask<void> Journal::reserve(std::uint64_t bytes) {
 
 void Journal::release(std::uint64_t bytes) { space_.release(bytes + cfg_.header_bytes); }
 
-sim::CoTask<void> Journal::write_entry(std::uint64_t bytes) {
+sim::CoTask<void> Journal::write_entry(std::uint64_t bytes, trace::Span span) {
+  const Time submit_t0 = sim_.now();
   sim::OneShot done(sim_);
   Pending p{bytes, &done};
   co_await queue_.push(&p);
   co_await done.wait();
+  // submit → durable: queueing behind the current batch plus the aggregated
+  // NVRAM write this entry rode in.
+  if (auto* tr = trace::Collector::active(); tr != nullptr && span.valid()) {
+    tr->complete(span, tr->stage_id(stage::kJournalWrite), submit_t0, sim_.now());
+  }
 }
 
 sim::CoTask<void> Journal::writer_loop() {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/trace.h"
 #include "device/device.h"
 #include "sim/channel.h"
 #include "sim/sync.h"
@@ -33,7 +34,9 @@ class Journal {
 
   /// Durably write one reserved entry; resumes at commit. Concurrent
   /// submitters are aggregated into one device write (journal batching).
-  sim::CoTask<void> write_entry(std::uint64_t bytes);
+  /// A valid `span` attributes the submit→commit latency to that op in the
+  /// trace collector (stage journal.write).
+  sim::CoTask<void> write_entry(std::uint64_t bytes, trace::Span span = {});
 
   /// Stop the writer loop (drain first for clean shutdown).
   void close() { queue_.close(); }

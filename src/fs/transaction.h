@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/payload.h"
+#include "core/trace.h"
 #include "kv/memtable.h"
 
 namespace afc::fs {
@@ -63,6 +64,10 @@ class Transaction {
 
   /// Encoded size as journal payload (headers + data + metadata payloads).
   std::uint64_t encoded_bytes() const;
+
+  /// Trace attribution for the op this transaction encodes (invalid when
+  /// tracing is off); the filestore and KV layers charge their spans to it.
+  trace::Span trace;
 
  private:
   std::vector<TxOp> ops_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stage_names.h"
+
 namespace afc::kv {
 
 std::uint64_t WriteBatch::payload_bytes() const {
@@ -27,21 +29,24 @@ Db::Db(sim::Simulation& sim, dev::Device& dev, const Config& cfg, std::uint64_t 
   sim::spawn(background_worker());
 }
 
-sim::CoTask<void> Db::put(std::string key, Value v) {
+sim::CoTask<void> Db::put(std::string key, Value v, trace::Span span) {
   WriteBatch b;
   b.put(std::move(key), std::move(v));
+  b.trace = span;
   co_await apply(std::move(b));
 }
 
-sim::CoTask<void> Db::del(std::string key) {
+sim::CoTask<void> Db::del(std::string key, trace::Span span) {
   WriteBatch b;
   b.del(std::move(key));
+  b.trace = span;
   co_await apply(std::move(b));
 }
 
 sim::CoTask<void> Db::write(WriteBatch batch) { co_await apply(std::move(batch)); }
 
 sim::CoTask<void> Db::apply(WriteBatch batch) {
+  const Time kv_t0 = sim_.now();
   if (cpu_ != nullptr) {
     // Single-op writes pay the full per-op cost; batched ops amortize the
     // WAL/group-commit overhead (LevelDB write-batch behaviour).
@@ -62,6 +67,11 @@ sim::CoTask<void> Db::apply(WriteBatch batch) {
   }
   maybe_schedule_flush();
   write_lock_.unlock();
+  // kv.write: encode CPU, writer-lock queueing, any L0 stall, WAL append
+  // and memtable insert — the KV share of a transaction's latency.
+  if (auto* tr = trace::Collector::active(); tr != nullptr && batch.trace.valid()) {
+    tr->complete(batch.trace, tr->stage_id(stage::kKvWrite), kv_t0, sim_.now());
+  }
 }
 
 sim::CoTask<void> Db::maybe_stall() {

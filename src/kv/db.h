@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/stats.h"
+#include "core/trace.h"
 #include "kv/sstable.h"
 #include "kv/wal.h"
 #include "sim/channel.h"
@@ -22,6 +23,9 @@ class WriteBatch {
   void del(std::string key) { ops_.push_back({std::move(key), Value{}, kDel}); }
   std::size_t size() const { return ops_.size(); }
   std::uint64_t payload_bytes() const;
+
+  /// Trace attribution for the whole batch (invalid when tracing is off).
+  trace::Span trace;
 
  private:
   friend class Db;
@@ -70,9 +74,10 @@ class Db {
   Db(sim::Simulation& sim, dev::Device& dev) : Db(sim, dev, Config{}) {}
 
   /// Single-op writes (one WAL record each — the community-Ceph pattern of
-  /// several separate KV ops per transaction).
-  sim::CoTask<void> put(std::string key, Value v);
-  sim::CoTask<void> del(std::string key);
+  /// several separate KV ops per transaction). A valid `span` attributes the
+  /// write's latency (stalls, WAL, memtable) to that op in the tracer.
+  sim::CoTask<void> put(std::string key, Value v, trace::Span span = {});
+  sim::CoTask<void> del(std::string key, trace::Span span = {});
 
   /// Atomic batch (one WAL record — the AFCeph pattern).
   sim::CoTask<void> write(WriteBatch batch);

@@ -1,5 +1,7 @@
 #include "net/messenger.h"
 
+#include "common/stage_names.h"
+
 namespace afc::net {
 
 Connection::Connection(Messenger& local, Messenger& remote, const Config& cfg)
@@ -13,6 +15,9 @@ Connection::Connection(Messenger& local, Messenger& remote, const Config& cfg)
 void Connection::send(Message m) {
   sent_++;
   inflight_++;
+  if (trace::Collector::active() != nullptr && m.trace.valid()) {
+    m.trace_send_ns = local_.simulation().now();
+  }
   tx_.try_push(std::move(m));  // tx_ is unbounded; try_push never fails while open
 }
 
@@ -52,6 +57,13 @@ sim::CoTask<void> Connection::receiver_loop() {
     inflight_--;
     m->reply_to = reverse_;
     remote_.delivered_++;
+    // net.wire: send() enqueue → delivered to the receiver. Covers sender
+    // queueing, the Nagle stall if any, NIC serialization, propagation and
+    // receive-side CPU — the messenger share of an op's latency.
+    if (auto* tr = trace::Collector::active(); tr != nullptr && m->trace.valid()) {
+      tr->complete(m->trace, tr->stage_id(stage::kNetWire), m->trace_send_ns,
+                   local_.simulation().now());
+    }
     co_await remote_.receiver().on_message(std::move(*m));
   }
 }

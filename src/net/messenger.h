@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace.h"
 #include "net/link.h"
 #include "sim/channel.h"
 #include "sim/task.h"
@@ -21,6 +22,9 @@ struct Message {
   std::uint64_t size = 0;  // wire size in bytes (header + payload)
   std::shared_ptr<MsgBody> body;
   class Connection* reply_to = nullptr;  // reverse direction, set on delivery
+  /// Op attribution for the tracer (set by senders only while tracing).
+  trace::Span trace;
+  Time trace_send_ns = 0;  // send() enqueue time, for the net.wire span
 };
 
 class Messenger;

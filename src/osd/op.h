@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/payload.h"
+#include "common/stage_names.h"
 #include "fs/transaction.h"
 #include "net/messenger.h"
 
@@ -73,6 +74,11 @@ enum Stage : unsigned {
   kStageCount = 8,
 };
 
+// The shared stage-name table (common/stage_names.h) labels these deltas in
+// bench output and trace JSON; the two must stay in lockstep.
+static_assert(kStageCount == kWriteStageCount,
+              "osd::Stage and afc::kWriteStageNames must describe the same pipeline");
+
 /// Primary-side state for one in-flight client op.
 struct OpCtx {
   std::shared_ptr<ClientIoMsg> msg;
@@ -82,6 +88,7 @@ struct OpCtx {
   unsigned commits_needed = 0;
   unsigned commits_seen = 0;
   bool acked = false;
+  trace::Span span;  // set at dispatch only while tracing; invalid otherwise
   std::array<Time, kStageCount> ts{};
 
   void stamp(Stage s, Time now) { ts[s] = now; }
@@ -104,6 +111,7 @@ struct WorkItem {
   OpRef op;                             // kClientOp / kRepReplyEvent / kAckEvent
   std::shared_ptr<RepOpMsg> rep;        // kReplicaOp
   net::Connection* conn = nullptr;      // reply path for kReplicaOp
+  Time trace_parked = 0;  // when the item entered a PG pending queue (tracing)
 };
 
 }  // namespace afc::osd

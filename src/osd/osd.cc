@@ -32,6 +32,14 @@ MetaCache::Config meta_cache_cfg(const core::Profile& p) {
   return c;
 }
 
+/// Trace identity of a queued work item: client ops carry their span on the
+/// OpCtx; replica ops are attributed to the same op id on this OSD's track.
+trace::Span item_span(const WorkItem& item, std::uint32_t osd_id) {
+  if (item.op != nullptr) return item.op->span;
+  if (item.rep != nullptr) return trace::Span{item.rep->op_id, trace::osd_track(osd_id)};
+  return {};
+}
+
 }  // namespace
 
 Osd::Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
@@ -122,6 +130,7 @@ sim::CoTask<void> Osd::on_message(net::Message m) {
 
 sim::CoTask<void> Osd::dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
                                           net::Connection* conn) {
+  const Time throttle_t0 = sim_.now();
   // Messenger dispatch throttle: suspending here stalls this connection's
   // delivery pipeline (osd_client_message_cap backpressure).
   co_await throttles_.messages.acquire(1);
@@ -132,6 +141,14 @@ sim::CoTask<void> Osd::dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
   op->msg = msg;
   op->reply_conn = conn;
   op->stamp(kStRecv, sim_.now());
+  if (auto* tr = trace::Collector::active()) {
+    op->span = trace::Span{msg->op_id, trace::osd_track(id_)};
+    if (const Time waited_until = sim_.now(); waited_until > throttle_t0) {
+      tr->complete(op->span, tr->stage_id(stage::kDispatchThrottle), throttle_t0, waited_until);
+    }
+    tr->begin(op->span, tr->stage_id(msg->is_write ? stage::kWriteOp : stage::kReadOp),
+              sim_.now());
+  }
   inflight_[msg->op_id] = op;
   if (profile_.ordered_acks && msg->is_write) {
     ack_state_[msg->client_id].outstanding.insert(msg->op_id);
@@ -184,10 +201,12 @@ sim::CoTask<void> Osd::worker_loop(unsigned shard) {
 sim::CoTask<void> Osd::run_item_community(WorkItem item) {
   Pg* pg = find_pg(item.pg);
   if (pg == nullptr) co_return;
+  const Time lock_t0 = sim_.now();
   // The worker blocks here while any other thread (another worker, the
   // finisher, an ack) holds this PG's lock — the head-of-line blocking of
   // paper Fig. 5.
   co_await pg->lock().lock();
+  pg->trace_wait(item_span(item, id_), lock_t0, sim_.now());
   co_await process_item(item);
   pg->lock().unlock();
 }
@@ -198,6 +217,7 @@ sim::CoTask<void> Osd::run_item_pending_queue(WorkItem item) {
   if (pg->busy) {
     // Park the op; this worker stays free for other PGs. Per-PG order is
     // preserved because the pending queue is drained FIFO by the owner.
+    if (trace::Collector::active() != nullptr) item.trace_parked = sim_.now();
     pg->pending.push_back(std::move(item));
     pg->pending_defers++;
     if (pg->pending.size() > pg->pending_high_water) pg->pending_high_water = pg->pending.size();
@@ -208,6 +228,9 @@ sim::CoTask<void> Osd::run_item_pending_queue(WorkItem item) {
   while (!pg->pending.empty()) {
     WorkItem next = std::move(pg->pending.front());
     pg->pending.pop_front();
+    // The park counts as PG ordering wait, same stage as the community
+    // scheme's lock wait — the two profiles stay comparable in a trace.
+    if (next.trace_parked != 0) pg->trace_wait(item_span(next, id_), next.trace_parked, sim_.now());
     co_await process_item(next);
   }
   pg->busy = false;
@@ -325,6 +348,7 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
     wire.type = kRepOp;
     wire.size = msg.data.size() + cfg_.repop_header_bytes;
     wire.body = std::move(rep);
+    wire.trace = op->span;
     it->second->send(std::move(wire));
   }
   op->stamp(kStSubmitted, sim_.now());
@@ -332,10 +356,17 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
   // Admission to journal+filestore — still inside the PG critical section,
   // which is exactly the paper's Fig. 3 step (3) complaint.
   const std::uint64_t jbytes = txn.encoded_bytes();
+  const Time admit_t0 = sim_.now();
   co_await throttles_.filestore_ops.acquire(1);
   co_await throttles_.filestore_bytes.acquire(jbytes);
   co_await throttles_.journal_ops.acquire(1);
   co_await journal_.reserve(jbytes);
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    if (const Time admitted = sim_.now(); admitted > admit_t0) {
+      tr->complete(op->span, tr->stage_id(stage::kJournalThrottle), admit_t0, admitted);
+    }
+  }
+  txn.trace = op->span;
   op->journal_bytes = jbytes;
   op->txn = std::move(txn);
   op->stamp(kStJournalQ, sim_.now());
@@ -345,7 +376,7 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
 }
 
 sim::CoTask<void> Osd::journal_path(OpRef op) {
-  co_await journal_.write_entry(op->journal_bytes);
+  co_await journal_.write_entry(op->journal_bytes, op->span);
   throttles_.journal_ops.release(1);
   op->stamp(kStJournaled, sim_.now());
   co_await dlog_.log(cfg_.log_entries_journal);
@@ -392,6 +423,7 @@ sim::CoTask<void> Osd::process_replica_op(WorkItem& item) {
   }
   txn.setattrs(rep.oid, {{"_", kv::Value::virt(std::uint32_t(cfg_.attr_oi_bytes))}});
   if (!profile_.skip_alloc_hint) txn.set_alloc_hint(rep.oid);
+  if (trace::Collector::active() != nullptr) txn.trace = item_span(item, id_);
 
   const std::uint64_t jbytes = txn.encoded_bytes();
   co_await throttles_.filestore_ops.acquire(1);
@@ -406,7 +438,8 @@ sim::CoTask<void> Osd::process_replica_op(WorkItem& item) {
 sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
                                             net::Connection* conn, fs::Transaction txn,
                                             std::uint64_t bytes) {
-  co_await journal_.write_entry(bytes);
+  const trace::Span rep_span = txn.trace;
+  co_await journal_.write_entry(bytes, rep_span);
   throttles_.journal_ops.release(1);
   co_await dlog_.log(cfg_.log_entries_journal);
 
@@ -427,6 +460,7 @@ sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
       wire.type = kRepReply;
       wire.size = cfg_.reply_msg_bytes;
       wire.body = std::move(reply);
+      wire.trace = rep_span;
       conn->send(std::move(wire));
     }
   } else {
@@ -512,6 +546,9 @@ sim::CoTask<void> Osd::finisher_loop() {
           wire.type = kRepReply;
           wire.size = cfg_.reply_msg_bytes;
           wire.body = std::move(reply);
+          if (trace::Collector::active() != nullptr) {
+            wire.trace = trace::Span{evt->rep->op_id, trace::osd_track(id_)};
+          }
           evt->conn->send(std::move(wire));
         }
         break;
@@ -649,7 +686,11 @@ sim::CoTask<void> Osd::process_client_read(WorkItem& item) {
   wire.type = kReadReply;
   wire.size = reply->data_len + cfg_.reply_msg_bytes;
   wire.body = std::move(reply);
+  wire.trace = op->span;
   op->reply_conn->send(std::move(wire));
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    tr->end(op->span, tr->stage_id(stage::kReadOp), sim_.now());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -684,6 +725,21 @@ void Osd::send_reply_message(OpRef& op) {
     }
   }
   write_total_.record(op->ts[kStAcked] - op->ts[kStRecv]);
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    // Mirror the Fig. 3 boundary deltas into the collector under the shared
+    // names — same loop, same guard — so its per-stage histograms equal the
+    // merged stage_hist_ data exactly and the bench can print from either.
+    for (unsigned s = 1; s < kStageCount; s++) {
+      if (op->ts[s] >= op->ts[s - 1] && op->ts[s] != 0) {
+        tr->complete(op->span, tr->stage_id(kWriteStageNames[s]), op->ts[s - 1], op->ts[s]);
+      }
+    }
+    if (op->ts[kStRepAcked] >= op->ts[kStSubmitted] && op->ts[kStRepAcked] != 0) {
+      tr->complete(op->span, tr->stage_id(stage::kReplication), op->ts[kStSubmitted],
+                   op->ts[kStRepAcked]);
+    }
+    tr->end(op->span, tr->stage_id(stage::kWriteOp), sim_.now());
+  }
 
   throttles_.messages.release(1);
   throttles_.message_bytes.release(msg.data.size() + 150);
@@ -697,6 +753,7 @@ void Osd::send_reply_message(OpRef& op) {
   wire.type = kWriteReply;
   wire.size = cfg_.reply_msg_bytes;
   wire.body = std::move(reply);
+  wire.trace = op->span;
   op->reply_conn->send(std::move(wire));
 }
 

@@ -2,7 +2,16 @@
 
 #include <cstdio>
 
+#include "common/stage_names.h"
+#include "core/trace.h"
+
 namespace afc::osd {
+
+void Pg::trace_wait(const trace::Span& span, Time t0, Time now) const {
+  auto* tr = trace::Collector::active();
+  if (tr == nullptr || !span.valid() || now <= t0) return;
+  tr->complete(span, tr->stage_id(stage::kPgLockWait), t0, now);
+}
 
 std::string Pg::log_key(std::uint64_t version) const {
   char buf[48];

@@ -24,6 +24,12 @@ class Pg {
   const std::vector<std::uint32_t>& acting() const { return acting_; }
   void set_acting(std::vector<std::uint32_t> a) { acting_ = std::move(a); }
 
+  /// Attribute a PG ordering wait (lock acquisition or pending-queue park,
+  /// t0 → now) to `span`. No-op unless a trace collector is installed, the
+  /// span is valid, and the wait is non-zero — callers may invoke it
+  /// unconditionally without perturbing untraced runs.
+  void trace_wait(const trace::Span& span, Time t0, Time now) const;
+
   // --- AFCeph pending queue (Fig. 5) ---------------------------------
   bool busy = false;
   std::deque<WorkItem> pending;

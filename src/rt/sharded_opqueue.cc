@@ -1,4 +1,13 @@
 #include "rt/sharded_opqueue.h"
 
-// Header-only template; this TU keeps the module list uniform.
-namespace afc::rt {}
+#include <chrono>
+
+namespace afc::rt {
+
+std::uint64_t trace_now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+}  // namespace afc::rt

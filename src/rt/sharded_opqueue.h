@@ -8,7 +8,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stage_names.h"
+#include "core/trace.h"
+
 namespace afc::rt {
+
+/// Monotonic wall-clock ns for tracing the real-threads structures (the
+/// simulator side uses sim time instead; the two never mix in one run).
+std::uint64_t trace_now_ns();
 
 /// Real-threads implementation of the paper's §3.1 OP_WQ: ops are hashed to
 /// shards by key (PG id); each shard has worker threads popping ops. A key
@@ -30,16 +37,17 @@ class ShardedOpQueue {
 
   void submit(std::uint64_t key, Op op) {
     Shard& s = shard_of(key);
+    const std::uint64_t t0 = trace::Collector::active() != nullptr ? trace_now_ns() : 0;
     {
       std::lock_guard lk(s.mu);
       if (s.closed) return;
       KeyState& ks = s.keys[key];
       if (pending_mode_ && ks.busy) {
-        ks.pending.push_back(std::move(op));
+        ks.pending.push_back(Item{key, std::move(op), t0});
         deferred_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      s.ready.push_back(Item{key, std::move(op)});
+      s.ready.push_back(Item{key, std::move(op), t0});
     }
     s.cv.notify_one();
   }
@@ -63,11 +71,12 @@ class ShardedOpQueue {
         KeyState& ks = s.keys[it.key];
         if (ks.busy) {
           // Raced with another submit/complete: park it.
-          ks.pending.push_back(std::move(it.op));
+          ks.pending.push_back(std::move(it));
           deferred_.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         ks.busy = true;
+        trace_claimed(it);
         return Claimed{it.key, std::move(it.op)};
       }
       // Community mode: wait until the head exists AND its key is free —
@@ -82,6 +91,7 @@ class ShardedOpQueue {
       Item it = std::move(s.ready.front());
       s.ready.pop_front();
       s.keys[it.key].busy = true;
+      trace_claimed(it);
       return Claimed{it.key, std::move(it.op)};
     }
   }
@@ -94,7 +104,9 @@ class ShardedOpQueue {
       KeyState& ks = s.keys[key];
       if (pending_mode_ && !ks.pending.empty()) {
         // Hand the key straight to its next op, at the front for fairness.
-        s.ready.push_front(Item{key, std::move(ks.pending.front())});
+        // The item keeps its original submit stamp, so a traced wait covers
+        // the parked interval too.
+        s.ready.push_front(std::move(ks.pending.front()));
         ks.pending.pop_front();
         ks.busy = false;
       } else {
@@ -122,11 +134,20 @@ class ShardedOpQueue {
   struct Item {
     std::uint64_t key;
     Op op;
+    std::uint64_t trace_t0 = 0;  // submit time (wall ns), 0 when untraced
   };
   struct KeyState {
     bool busy = false;
-    std::deque<Op> pending;
+    std::deque<Item> pending;
   };
+
+  /// Record submit→claim wait (rt.opwq.wait) for a traced item.
+  static void trace_claimed(const Item& it) {
+    auto* tr = trace::Collector::active();
+    if (tr == nullptr || it.trace_t0 == 0) return;
+    tr->complete(trace::Span{it.key + 1, trace::kRtTrack}, tr->stage_id(stage::kRtOpQueue),
+                 it.trace_t0, trace_now_ns());
+  }
   struct Shard {
     std::mutex mu;
     std::condition_variable cv;
