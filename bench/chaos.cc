@@ -1,0 +1,208 @@
+// Chaos soak: drive a write-heavy workload through a small cluster while a
+// seeded FaultPlan crashes/restarts OSDs, slows SSDs, drops/delays/partitions
+// links and stalls journals — then assert the recovery invariants:
+//
+//   1. exactly-once resolution: every op a client began resolved exactly
+//      once (acked ok or failed), and no client has a dangling pending op
+//      after the simulation drains;
+//   2. durability floor: no write was acked with fewer than min_size
+//      durable replicas (osd.acks_below_min_size == 0 on every OSD);
+//   3. determinism: the same seed + plan produces an identical run digest
+//      (event count, per-VM accounting, per-OSD counters) twice in a row;
+//   4. zero-impact: installing an *empty* plan changes nothing — the run
+//      digest equals a run with no injector at all.
+//
+// Exit status is non-zero if any invariant fails, so scripts/check.sh (and
+// its ASan+UBSan leg) can gate on it.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "afceph.h"
+
+using namespace afc;
+
+namespace {
+
+core::ClusterConfig chaos_config() {
+  core::ClusterConfig cfg;
+  cfg.profile = core::Profile::afceph();
+  cfg.osd_nodes = 4;
+  cfg.osds_per_node = 1;
+  cfg.client_nodes = 2;
+  cfg.vms = 4;
+  cfg.pg_num = 64;
+  cfg.replication = 2;
+  cfg.min_size = 1;                         // degraded acks allowed at 1 copy
+  cfg.sustained = false;                    // small run; keep devices fast
+  cfg.image_size = 1 * kGiB;
+  cfg.osd.rep_timeout = 40 * kMillisecond;  // replication watchdog on
+  cfg.osd.rep_retries = 2;
+  cfg.client_op_timeout = 250 * kMillisecond;  // client retry/resubmit on
+  cfg.client_op_retries = 4;
+  return cfg;
+}
+
+struct RunDigest {
+  std::uint64_t events = 0;
+  std::uint64_t begun = 0;
+  std::uint64_t resolved = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t below_min = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t write_failures = 0;
+  std::uint64_t rep_retry_rounds = 0;
+  std::uint64_t dup_rep_replies = 0;
+  std::uint64_t osd_writes = 0;
+  std::uint64_t hash = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+/// One soak run: build a fresh cluster, arm `plan` (skipped when
+/// `install == false`), run the workload, then drain the simulation so every
+/// in-flight op, retry and backoff resolves.
+RunDigest run_once(std::uint64_t seed, const fault::FaultPlan& plan, bool install) {
+  core::ClusterConfig cfg = chaos_config();
+  cfg.seed = seed;
+  core::ClusterSim cluster(cfg);
+  if (install) cluster.install_faults(plan);
+
+  auto spec = client::WorkloadSpec::rand_write(4096, 4);
+  spec.warmup = 100 * kMillisecond;
+  spec.runtime = 900 * kMillisecond;
+  // Drive the VMs directly instead of via ClusterSim::run(): the sink must
+  // outlive the post-deadline drain (io_loops record their final op while
+  // the simulation finishes timeouts, retries and backfills).
+  client::RunStats stats;
+  stats.window_start = spec.warmup;
+  stats.window_end = spec.warmup + spec.runtime;
+  for (std::size_t v = 0; v < cluster.vm_count(); v++) {
+    cluster.vm(v).start(spec, stats.window_end, &stats);
+  }
+  cluster.simulation().run_until(stats.window_end);
+  cluster.simulation().run();  // drain: timeouts, retries, backfills
+
+  RunDigest d;
+  d.events = cluster.simulation().executed_events();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the counters
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (std::size_t v = 0; v < cluster.vm_count(); v++) {
+    auto& vm = cluster.vm(v);
+    d.begun += vm.ops_begun();
+    d.resolved += vm.ops_resolved();
+    d.failed += vm.ops_failed();
+    d.retries += vm.op_retries();
+    d.pending += vm.pending_size();
+    mix(vm.ops_begun());
+    mix(vm.ops_resolved());
+    mix(vm.issued());
+    mix(vm.completed());
+  }
+  for (std::size_t o = 0; o < cluster.osd_count(); o++) {
+    auto& osd = cluster.osd(o);
+    d.below_min += osd.counters().get("osd.acks_below_min_size");
+    d.degraded += osd.counters().get("osd.acks_degraded");
+    d.write_failures += osd.counters().get("osd.write_failures");
+    d.rep_retry_rounds += osd.counters().get("osd.rep_retry_rounds");
+    d.dup_rep_replies += osd.counters().get("osd.dup_rep_replies");
+    d.osd_writes += osd.client_writes();
+    mix(osd.client_writes());
+    mix(osd.replica_ops());
+    for (const auto& [name, value] : osd.counters().all()) {
+      for (char c : name) mix(std::uint64_t(std::uint8_t(c)));
+      mix(value);
+    }
+  }
+  mix(d.events);
+  d.hash = h;
+
+  // Unpark the worker coroutines so nothing is left allocated at exit
+  // (keeps the LeakSanitizer leg of scripts/check.sh clean).
+  cluster.close_all();
+  cluster.simulation().run();
+  return d;
+}
+
+int g_failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("  FAIL: %s\n", what.c_str());
+    g_failures++;
+  }
+}
+
+void check_invariants(const char* label, const RunDigest& d) {
+  expect(d.pending == 0, std::string(label) + ": pending ops after drain");
+  expect(d.begun == d.resolved, std::string(label) + ": ops begun != ops resolved");
+  expect(d.below_min == 0, std::string(label) + ": write acked below min_size");
+  expect(d.begun > 0, std::string(label) + ": no ops ran");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("chaos soak: 4 OSDs rep=2 min_size=1, 4 VMs 4K random write, "
+              "rep_timeout=40ms client_timeout=250ms\n\n");
+
+  // --- zero-impact: empty plan == no injector at all ----------------------
+  {
+    const RunDigest bare = run_once(42, fault::FaultPlan{}, /*install=*/false);
+    const RunDigest empty = run_once(42, fault::FaultPlan{}, /*install=*/true);
+    std::printf("[empty plan] events=%llu begun=%llu  (bare events=%llu)\n",
+                (unsigned long long)empty.events, (unsigned long long)empty.begun,
+                (unsigned long long)bare.events);
+    expect(bare == empty, "empty FaultPlan must not perturb the run");
+    check_invariants("empty", empty);
+  }
+
+  // --- a directed plan hitting every fault kind ---------------------------
+  {
+    fault::FaultPlan plan;
+    plan.crash_restart(300 * kMillisecond, 1, 200 * kMillisecond);
+    plan.ssd_slow(250 * kMillisecond, 2, 8.0, 300 * kMillisecond);
+    plan.link_drop(200 * kMillisecond, 0, 3, 0.3, 400 * kMillisecond);
+    plan.link_delay(350 * kMillisecond, 2, 3, 900 * kMicrosecond, 250 * kMillisecond);
+    plan.link_partition(500 * kMillisecond, 3, fault::kAllPeers, 150 * kMillisecond);
+    plan.journal_stall(450 * kMillisecond, 0, 60 * kMillisecond);
+    std::printf("\n[directed plan]\n%s", plan.describe().c_str());
+    const RunDigest a = run_once(42, plan, true);
+    const RunDigest b = run_once(42, plan, true);
+    std::printf("  events=%llu begun=%llu failed=%llu retries=%llu degraded=%llu "
+                "rep_retry_rounds=%llu dups=%llu\n",
+                (unsigned long long)a.events, (unsigned long long)a.begun,
+                (unsigned long long)a.failed, (unsigned long long)a.retries,
+                (unsigned long long)a.degraded, (unsigned long long)a.rep_retry_rounds,
+                (unsigned long long)a.dup_rep_replies);
+    check_invariants("directed", a);
+    expect(a == b, "directed plan: same seed must reproduce byte-identical digests");
+  }
+
+  // --- randomized plans, each run twice for determinism -------------------
+  for (std::uint64_t seed = 1; seed <= 5; seed++) {
+    fault::FaultPlan plan = fault::FaultPlan::random(seed, 150 * kMillisecond,
+                                                     1000 * kMillisecond, 6, 4);
+    std::printf("\n[random plan seed=%llu]\n%s", (unsigned long long)seed,
+                plan.describe().c_str());
+    const RunDigest a = run_once(1000 + seed, plan, true);
+    const RunDigest b = run_once(1000 + seed, plan, true);
+    std::printf("  events=%llu begun=%llu failed=%llu retries=%llu degraded=%llu\n",
+                (unsigned long long)a.events, (unsigned long long)a.begun,
+                (unsigned long long)a.failed, (unsigned long long)a.retries,
+                (unsigned long long)a.degraded);
+    check_invariants(("seed " + std::to_string(seed)).c_str(), a);
+    expect(a == b, "random plan seed " + std::to_string(seed) +
+                       ": same seed must reproduce byte-identical digests");
+  }
+
+  std::printf("\nchaos soak: %s (%d invariant failures)\n",
+              g_failures == 0 ? "PASS" : "FAIL", g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

@@ -29,6 +29,8 @@
 #include "device/hdd.h"
 #include "device/nvram.h"
 #include "device/ssd.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "fs/filestore.h"
 #include "fs/journal.h"
 #include "kv/db.h"

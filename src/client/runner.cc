@@ -100,53 +100,82 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
                                                      std::uint64_t len, bool want_data,
                                                      Payload payload) {
   const RbdImage::Mapping m = image_.map(image_off);
-  auto msg = std::make_shared<osd::ClientIoMsg>();
-  msg->op_id = (client_id_ << 24) | next_seq_++;
-  msg->client_id = client_id_;
-  msg->oid.name = m.object_name;
-  msg->oid.pg = cmap_.pg_of(m.object_name);
-  msg->pg = msg->oid.pg;
-  msg->offset = m.object_offset;
-  msg->is_write = is_write;
-  msg->want_data = want_data;
-  msg->issued_at = sim_.now();
-  if (is_write) {
-    msg->data = std::move(payload);
-  } else {
-    msg->read_len = len;
-  }
-
-  const std::uint32_t primary = cmap_.primary(msg->pg);
-  auto conn_it = osd_conns_.find(primary);
+  ops_begun_++;
   PendingOp p{};
-  if (conn_it == osd_conns_.end()) {
-    p.ok = false;
-    co_return p;
+  Time timeout = op_timeout_;
+  for (unsigned attempt = 0;; attempt++) {
+    auto msg = std::make_shared<osd::ClientIoMsg>();
+    msg->op_id = (client_id_ << 24) | next_seq_++;
+    msg->client_id = client_id_;
+    msg->oid.name = m.object_name;
+    msg->oid.pg = cmap_.pg_of(m.object_name);
+    msg->pg = msg->oid.pg;
+    msg->offset = m.object_offset;
+    msg->is_write = is_write;
+    msg->want_data = want_data;
+    msg->issued_at = sim_.now();
+    if (is_write) {
+      msg->data = payload;  // copied: a later attempt resends the same body
+    } else {
+      msg->read_len = len;
+    }
+
+    // Primary recomputed per attempt: an OSD crash bumps the map epoch, and
+    // the retry targets whichever OSD CRUSH now elects for this PG.
+    const std::uint32_t primary = cmap_.primary(msg->pg);
+    auto conn_it = osd_conns_.find(primary);
+    if (conn_it == osd_conns_.end()) {
+      p.ok = false;
+      break;
+    }
+
+    sim::OneShot done(sim_);
+    p = PendingOp{};
+    p.done = &done;
+    const std::uint64_t op_id = msg->op_id;
+    pending_[op_id] = &p;
+    issued_++;
+    if (op_cpu_ > 0) co_await msgr_.node().cpu().consume(op_cpu_);
+
+    const trace::Span span = trace::Collector::active() != nullptr
+                                 ? trace::Span{op_id, trace::client_track(client_id_)}
+                                 : trace::Span{};
+    const Time submit_t0 = sim_.now();
+    net::Message wire;
+    wire.type = is_write ? osd::kClientWrite : osd::kClientRead;
+    wire.size = (is_write ? msg->data.size() : 0) + 150;
+    wire.body = std::move(msg);
+    wire.trace = span;
+    conn_it->second->send(std::move(wire));
+
+    if (op_timeout_ == 0) {
+      co_await done.wait();
+    } else if (co_await done.wait_for(timeout) == sim::TimedOut::kYes) {
+      // Attempt abandoned: forget the op id so a late/duplicate reply is
+      // ignored, then back off exponentially and resubmit as a fresh op.
+      pending_.erase(op_id);
+      if (auto* tr = trace::Collector::active(); tr != nullptr && span.valid()) {
+        tr->instant(span, tr->stage_id(stage::kClientRetry), sim_.now());
+      }
+      if (attempt >= op_max_retries_) {
+        p.ok = false;
+        ops_failed_++;
+        break;
+      }
+      op_retries_++;
+      const Time backoff = timeout;
+      timeout = Time(double(timeout) * op_backoff_);
+      co_await sim::delay(sim_, backoff, "client.backoff");
+      continue;
+    }
+    // client.io: submit → completion as the VM sees it, the outermost span of
+    // a traced op (everything the OSD-side stages decompose nests inside it).
+    if (auto* tr = trace::Collector::active(); tr != nullptr && span.valid()) {
+      tr->complete(span, tr->stage_id(stage::kClientIo), submit_t0, sim_.now());
+    }
+    break;
   }
-
-  sim::OneShot done(sim_);
-  p.done = &done;
-  pending_[msg->op_id] = &p;
-  issued_++;
-  if (op_cpu_ > 0) co_await msgr_.node().cpu().consume(op_cpu_);
-
-  const trace::Span span = trace::Collector::active() != nullptr
-                               ? trace::Span{msg->op_id, trace::client_track(client_id_)}
-                               : trace::Span{};
-  const Time submit_t0 = sim_.now();
-  net::Message wire;
-  wire.type = is_write ? osd::kClientWrite : osd::kClientRead;
-  wire.size = (is_write ? msg->data.size() : 0) + 150;
-  wire.body = std::move(msg);
-  wire.trace = span;
-  conn_it->second->send(std::move(wire));
-
-  co_await done.wait();
-  // client.io: submit → completion as the VM sees it, the outermost span of
-  // a traced op (everything the OSD-side stages decompose nests inside it).
-  if (auto* tr = trace::Collector::active(); tr != nullptr && span.valid()) {
-    tr->complete(span, tr->stage_id(stage::kClientIo), submit_t0, sim_.now());
-  }
+  ops_resolved_++;
   co_return p;
 }
 

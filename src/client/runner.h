@@ -55,6 +55,18 @@ class VmClient : public net::Receiver {
   /// Client-side CPU charged per I/O (fio + KRBD + dispatch).
   void set_op_cpu(Time cpu) { op_cpu_ = cpu; }
 
+  /// Per-op timeout + resubmit (librados-style): if no reply arrives within
+  /// `timeout`, abandon the attempt, back off exponentially and resubmit as
+  /// a *fresh* op (new op id, primary recomputed from the current cluster
+  /// map, so a crashed primary's successor gets the retry). After
+  /// `max_retries` resubmits the op resolves as failed. `timeout == 0`
+  /// disables the machinery entirely — the seed behaviour, no timer events.
+  void set_op_timeout(Time timeout, unsigned max_retries = 3, double backoff = 2.0) {
+    op_timeout_ = timeout;
+    op_max_retries_ = max_retries;
+    op_backoff_ = backoff;
+  }
+
   /// Launch the workload's closed loops; they stop issuing at `stop_at`.
   void start(const WorkloadSpec& spec, Time stop_at, RunStats* sink);
 
@@ -72,6 +84,13 @@ class VmClient : public net::Receiver {
 
   std::uint64_t issued() const { return issued_; }
   std::uint64_t completed() const { return completed_; }
+
+  // --- exactly-once accounting (chaos-soak invariants) -------------------
+  std::uint64_t ops_begun() const { return ops_begun_; }
+  std::uint64_t ops_resolved() const { return ops_resolved_; }
+  std::uint64_t ops_failed() const { return ops_failed_; }
+  std::uint64_t op_retries() const { return op_retries_; }
+  std::size_t pending_size() const { return pending_.size(); }
 
  private:
   struct PendingOp {
@@ -104,6 +123,13 @@ class VmClient : public net::Receiver {
   std::uint64_t next_seq_ = 1;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  Time op_timeout_ = 0;  // 0 = no client-side timeouts (seed behaviour)
+  unsigned op_max_retries_ = 3;
+  double op_backoff_ = 2.0;
+  std::uint64_t ops_begun_ = 0;
+  std::uint64_t ops_resolved_ = 0;
+  std::uint64_t ops_failed_ = 0;
+  std::uint64_t op_retries_ = 0;
 };
 
 }  // namespace afc::client

@@ -15,6 +15,11 @@ class ClusterMap {
   struct PoolConfig {
     std::uint32_t pg_num = 1024;  // power of two
     unsigned replication = 2;
+    /// Durable replicas required before a write may be acked (Ceph's pool
+    /// min_size). 0 means "= replication": no degraded acks, the seed
+    /// behaviour. Set below `replication` to let primaries ack degraded
+    /// writes once a replication timeout gives up on a dead peer.
+    unsigned min_size = 0;
   };
 
   ClusterMap(const PoolConfig& pool) : pool_(pool) {}
@@ -23,6 +28,9 @@ class ClusterMap {
   Crush& crush() { return crush_; }
   const Crush& crush() const { return crush_; }
   const PoolConfig& pool() const { return pool_; }
+  unsigned min_size() const {
+    return pool_.min_size == 0 ? pool_.replication : pool_.min_size;
+  }
 
   std::uint64_t epoch() const { return epoch_; }
   void bump_epoch() { epoch_++; }

@@ -41,6 +41,12 @@ inline constexpr const char* kFsApply = "fs.apply";               // filestore t
 inline constexpr const char* kKvWrite = "kv.write";               // omap/KV WAL+memtable write
 inline constexpr const char* kRtThrottle = "rt.throttle.wait";    // real-threads throttle block
 inline constexpr const char* kRtOpQueue = "rt.opwq.wait";         // real-threads op-queue wait
+
+// Fault-injection & recovery markers (instants unless noted; docs/FAULTS.md).
+inline constexpr const char* kFaultInject = "fault.inject";       // a FaultPlan event applied
+inline constexpr const char* kNetLinkDrop = "net.link_drop";      // lossy link ate a message
+inline constexpr const char* kOsdRepRetry = "osd.rep_retry";      // primary resent repops
+inline constexpr const char* kClientRetry = "client.retry";       // client resubmitted an op
 }  // namespace stage
 
 }  // namespace afc

@@ -29,7 +29,7 @@ std::string trace_out_path() {
 
 ClusterSim::ClusterSim(ClusterConfig cfg)
     : cfg_(std::move(cfg)),
-      cmap_(cluster::ClusterMap::PoolConfig{cfg_.pg_num, cfg_.replication}) {
+      cmap_(cluster::ClusterMap::PoolConfig{cfg_.pg_num, cfg_.replication, cfg_.min_size}) {
   if (sim_profile_requested()) sim_.enable_profiling();
   if (trace::Collector::env_requested() && trace::Collector::active() == nullptr) {
     tracer_ = std::make_unique<trace::Collector>();
@@ -105,6 +105,9 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
         sim_, host, cmap_, client::RbdImage("vm" + std::to_string(v), cfg_.image_size),
         /*client_id=*/v + 1, cfg_.seed + 7919 * (v + 1)));
     vms_.back()->set_op_cpu(cfg_.client_op_cpu);
+    if (cfg_.client_op_timeout > 0) {
+      vms_.back()->set_op_timeout(cfg_.client_op_timeout, cfg_.client_op_retries);
+    }
     if (auto* tr = trace::Collector::active()) {
       tr->name_track(trace::client_track(v + 1), "vm." + std::to_string(v));
     }
@@ -191,6 +194,24 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
   for (const auto& n : osd_nodes_) {
     r.max_osd_node_cpu = std::max(r.max_osd_node_cpu, n->cpu().utilization());
   }
+}
+
+fault::FaultInjector& ClusterSim::install_faults(const fault::FaultPlan& plan) {
+  if (injector_ == nullptr) {
+    std::vector<osd::Osd*> osds;
+    std::vector<dev::SsdModel*> ssds;
+    std::vector<net::Messenger*> endpoints;
+    for (auto& o : osds_) {
+      osds.push_back(o.get());
+      endpoints.push_back(&o->messenger());
+    }
+    for (auto& s : ssds_) ssds.push_back(s.get());
+    for (auto& vm : vms_) endpoints.push_back(&vm->messenger());
+    injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, cmap_, std::move(osds), std::move(ssds), std::move(endpoints), cfg_.seed);
+  }
+  injector_->install(plan);
+  return *injector_;
 }
 
 sim::CoTask<std::uint64_t> ClusterSim::rebalance(

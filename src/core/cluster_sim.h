@@ -9,6 +9,7 @@
 #include "core/trace.h"
 #include "device/nvram.h"
 #include "device/ssd.h"
+#include "fault/injector.h"
 #include "osd/osd.h"
 
 namespace afc::core {
@@ -26,6 +27,14 @@ struct ClusterConfig {
   unsigned client_node_cores = 16;
   std::uint32_t pg_num = 1024;  // power of two
   unsigned replication = 2;
+  /// Pool min_size: durable replicas required before a write acks. 0 (the
+  /// default) means "= replication" — no degraded acks, seed behaviour.
+  unsigned min_size = 0;
+  /// Client-side per-op timeout + resubmit (librados-style). 0 disables —
+  /// the seed behaviour; chaos/fault runs set it so client ops survive OSD
+  /// crashes and lossy links.
+  Time client_op_timeout = 0;
+  unsigned client_op_retries = 3;
   /// Sustained state: SSDs saturated (GC active), cluster 80% full (objects
   /// pre-exist), caches cold relative to the working set. Clean state:
   /// fresh SSDs and small images.
@@ -115,6 +124,12 @@ class ClusterSim {
   /// and benches may instead install their own before construction.
   trace::Collector* tracer() const { return trace::Collector::active(); }
 
+  /// Build a fault::FaultInjector over this cluster's components and arm
+  /// `plan`. Call before run(); an empty plan schedules nothing. Returns the
+  /// injector so the caller can read its counters afterwards.
+  fault::FaultInjector& install_faults(const fault::FaultPlan& plan);
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
+
   // --- elasticity & failure handling -------------------------------------
   /// Take an OSD out of the CRUSH map (failure / decommission), recompute
   /// placement, and re-replicate the affected PGs from surviving members.
@@ -161,6 +176,7 @@ class ClusterSim {
   std::vector<std::unique_ptr<dev::SsdModel>> ssds_;
   std::vector<std::unique_ptr<osd::Osd>> osds_;
   std::vector<std::unique_ptr<client::VmClient>> vms_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   bool ran_ = false;
 };
 

@@ -9,11 +9,11 @@ SsdModel::SsdModel(sim::Simulation& sim, std::string name, const Config& cfg)
 
 Time SsdModel::latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t len) {
   if (type == IoType::kRead) {
-    Time t = cfg_.read_latency;
-    if (inflight_writes() > 0) t += cfg_.mixed_read_penalty;
-    return t;
+    double t = double(cfg_.read_latency);
+    if (inflight_writes() > 0) t += double(cfg_.mixed_read_penalty);
+    return Time(t * slow_factor_);
   }
-  if (type == IoType::kFlush) return 200 * kMicrosecond;
+  if (type == IoType::kFlush) return Time(200.0 * kMicrosecond * slow_factor_);
   if (!sustained_ && cfg_.clean_budget_bytes != 0) {
     clean_written_ += len;
     if (clean_written_ >= cfg_.clean_budget_bytes) {
@@ -36,7 +36,7 @@ Time SsdModel::latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t
     }
   }
   if (inflight_reads() > 0) t += double(cfg_.mixed_write_penalty);
-  return Time(t);
+  return Time(t * slow_factor_);
 }
 
 Time SsdModel::transfer_time(IoType type, std::uint64_t len) {

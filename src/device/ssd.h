@@ -46,6 +46,14 @@ class SsdModel : public Device {
   void set_sustained(bool s) { sustained_ = s; }
   bool sustained() const { return sustained_; }
   std::uint64_t gc_stalls() const { return gc_stalls_; }
+
+  /// Latency-outlier injection (fault plans): per-command latency is
+  /// multiplied by `f` until reset to 1.0 — a drive whose FTL has gone into
+  /// a pathological state, the all-flash "slow disk" the paper's tail
+  /// latencies come from. Bandwidth is untouched: the outlier drive still
+  /// moves bytes, it just responds late.
+  void set_slow_factor(double f) { slow_factor_ = f; }
+  double slow_factor() const { return slow_factor_; }
   /// Virtual time at which the clean->sustained transition happened (0 if
   /// it has not).
   Time sustained_since() const { return sustained_since_; }
@@ -57,6 +65,7 @@ class SsdModel : public Device {
  private:
   Config cfg_;
   bool sustained_;
+  double slow_factor_ = 1.0;
   std::uint64_t bytes_since_gc_ = 0;
   std::uint64_t gc_stalls_ = 0;
   std::uint64_t clean_written_ = 0;

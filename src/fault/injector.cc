@@ -1,0 +1,175 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "common/stage_names.h"
+#include "core/trace.h"
+
+namespace afc::fault {
+
+FaultInjector::FaultInjector(sim::Simulation& sim, cluster::ClusterMap& cmap,
+                             std::vector<osd::Osd*> osds, std::vector<dev::SsdModel*> ssds,
+                             std::vector<net::Messenger*> endpoints, std::uint64_t seed)
+    : sim_(sim),
+      cmap_(cmap),
+      osds_(std::move(osds)),
+      ssds_(std::move(ssds)),
+      endpoints_(std::move(endpoints)),
+      seed_(seed) {}
+
+void FaultInjector::install(const FaultPlan& plan) {
+  if (installed_) return;
+  installed_ = true;
+  plan_ = plan;
+  for (std::size_t i = 0; i < plan_.events.size(); i++) {
+    const FaultEvent& e = plan_.events[i];
+    sim_.schedule_at(e.at, [this, i] { apply(i); }, "fault.apply");
+    const bool auto_clears = e.kind == FaultKind::kSsdSlow || e.kind == FaultKind::kLinkDrop ||
+                             e.kind == FaultKind::kLinkDelay ||
+                             e.kind == FaultKind::kLinkPartition;
+    if (auto_clears && e.duration > 0) {
+      sim_.schedule_at(e.at + e.duration, [this, i] { clear(i); }, "fault.clear");
+    }
+  }
+}
+
+void FaultInjector::trace_event(std::size_t idx) {
+  if (auto* tr = trace::Collector::active()) {
+    tr->instant(trace::Span{std::uint64_t(idx) + 1, trace::kFaultTrack},
+                tr->stage_id(stage::kFaultInject), sim_.now());
+  }
+}
+
+void FaultInjector::apply(std::size_t idx) {
+  const FaultEvent& e = plan_.events[idx];
+  if (e.osd >= osds_.size()) return;
+  counters_.add(std::string("fault.") + kind_name(e.kind));
+  trace_event(idx);
+  switch (e.kind) {
+    case FaultKind::kOsdCrash:
+      do_crash(e.osd);
+      break;
+    case FaultKind::kOsdRestart:
+      do_restart(e.osd);
+      break;
+    case FaultKind::kSsdSlow:
+      ssds_[e.osd]->set_slow_factor(e.factor);
+      break;
+    case FaultKind::kLinkDrop: {
+      net::Connection::Fault f;
+      f.drop_p = e.p;
+      set_link_fault(e.osd, e.peer, f);
+      break;
+    }
+    case FaultKind::kLinkDelay: {
+      net::Connection::Fault f;
+      f.added_delay = e.added_ns;
+      set_link_fault(e.osd, e.peer, f);
+      break;
+    }
+    case FaultKind::kLinkPartition: {
+      net::Connection::Fault f;
+      f.partitioned = true;
+      set_link_fault(e.osd, e.peer, f);
+      break;
+    }
+    case FaultKind::kJournalStall:
+      osds_[e.osd]->journal().stall_until(sim_.now() + e.duration);
+      break;
+  }
+}
+
+void FaultInjector::clear(std::size_t idx) {
+  const FaultEvent& e = plan_.events[idx];
+  if (e.osd >= osds_.size()) return;
+  counters_.add("fault.cleared");
+  switch (e.kind) {
+    case FaultKind::kSsdSlow:
+      ssds_[e.osd]->set_slow_factor(1.0);
+      break;
+    case FaultKind::kLinkDrop:
+    case FaultKind::kLinkDelay:
+    case FaultKind::kLinkPartition:
+      set_link_fault(e.osd, e.peer, net::Connection::Fault{});
+      break;
+    default:
+      break;
+  }
+}
+
+void FaultInjector::set_link_fault(std::uint32_t osd, std::uint32_t peer,
+                                   const net::Connection::Fault& f) {
+  net::Messenger* a = &osds_[osd]->messenger();
+  net::Messenger* b = (peer != kAllPeers && peer < osds_.size()) ? &osds_[peer]->messenger()
+                                                                 : nullptr;
+  if (peer != kAllPeers && b == nullptr) return;
+  std::uint64_t n = 0;
+  for (net::Messenger* m : endpoints_) {
+    for (const auto& conn : m->connections()) {
+      net::Connection* c = conn.get();
+      const bool touches_a = &c->local() == a || &c->remote() == a;
+      if (!touches_a) continue;
+      if (b != nullptr && &c->local() != b && &c->remote() != b) continue;
+      if (f.any()) {
+        // One deterministic drop stream per (plan seed, connection index).
+        c->set_fault(f, seed_ ^ (0x9e3779b97f4a7c15ull * (n + 1)));
+      } else {
+        c->clear_fault();
+      }
+      n++;
+    }
+  }
+}
+
+void FaultInjector::do_crash(std::uint32_t osd) {
+  if (!cmap_.crush().osds()[osd].up) return;  // already down
+  std::vector<std::vector<std::uint32_t>> old_acting(cmap_.pool().pg_num);
+  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
+  osds_[osd]->messenger().set_blackhole(true);
+  cmap_.crush().set_up(osd, false);
+  cmap_.bump_epoch();
+  retarget_pgs(old_acting);
+}
+
+void FaultInjector::do_restart(std::uint32_t osd) {
+  if (cmap_.crush().osds()[osd].up) return;  // never crashed / already back
+  std::vector<std::vector<std::uint32_t>> old_acting(cmap_.pool().pg_num);
+  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
+  osds_[osd]->messenger().set_blackhole(false);
+  cmap_.crush().set_up(osd, true);
+  cmap_.bump_epoch();
+  retarget_pgs(old_acting);
+}
+
+void FaultInjector::retarget_pgs(const std::vector<std::vector<std::uint32_t>>& old_acting) {
+  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    if (acting == old_acting[pg]) continue;
+    osd::Osd* source = nullptr;
+    for (std::uint32_t member : old_acting[pg]) {
+      if (cmap_.crush().osds()[member].up) {
+        source = osds_[member];
+        break;
+      }
+    }
+    for (std::uint32_t member : acting) {
+      osds_[member]->set_pg_acting(pg, {acting.begin(), acting.end()});
+      const bool newcomer =
+          std::find(old_acting[pg].begin(), old_acting[pg].end(), member) ==
+          old_acting[pg].end();
+      if (newcomer && source != nullptr && source != osds_[member]) {
+        // Asynchronous backfill: the data path keeps running while the PG
+        // re-replicates (Ceph recovers in the background too).
+        counters_.add("fault.backfills");
+        osd::Osd* src = source;
+        osd::Osd* dst = osds_[member];
+        const std::uint32_t pgid = pg;
+        sim::spawn_fn([src, dst, pgid]() -> sim::CoTask<void> {
+          co_await src->push_pg(pgid, *dst);
+        });
+      }
+    }
+  }
+}
+
+}  // namespace afc::fault

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/map.h"
+#include "common/stats.h"
+#include "device/ssd.h"
+#include "fault/plan.h"
+#include "net/messenger.h"
+#include "osd/osd.h"
+#include "sim/simulation.h"
+
+namespace afc::fault {
+
+/// Arms a FaultPlan against a built cluster: schedules one simulator event
+/// per fault (plus one per auto-clear) and applies the state change when it
+/// fires. Everything is deterministic — an empty plan schedules nothing, so
+/// constructing an injector cannot perturb a run.
+///
+/// Layering: the injector touches OSDs, devices, messengers and the cluster
+/// map directly and never includes core/; core::ClusterSim offers the
+/// convenience wrapper `install_faults()` that builds one over its members.
+///
+/// Crash semantics: the OSD's messenger is blackholed (sends and deliveries
+/// vanish, no CPU is charged for the dead daemon), the OSD is marked down
+/// in CRUSH and the epoch bumps, so clients and peers re-target. Surviving
+/// members of every re-homed PG get their new acting set pushed, and PGs
+/// are re-replicated to newcomers from a surviving member (asynchronous
+/// backfill). Restart reverses the blackhole + down-mark and backfills the
+/// returned OSD, which may have missed writes while dead.
+class FaultInjector {
+ public:
+  /// `osds[i]` must be the OSD with id i; `ssds[i]` its data device.
+  /// `endpoints` is every messenger whose connections may need link faults
+  /// (all OSD messengers and, for completeness, the clients').
+  FaultInjector(sim::Simulation& sim, cluster::ClusterMap& cmap,
+                std::vector<osd::Osd*> osds, std::vector<dev::SsdModel*> ssds,
+                std::vector<net::Messenger*> endpoints, std::uint64_t seed);
+
+  /// Schedule every event of `plan` (callable once per injector).
+  void install(const FaultPlan& plan);
+
+  Counters& counters() { return counters_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(std::size_t idx);
+  void clear(std::size_t idx);
+  void do_crash(std::uint32_t osd);
+  void do_restart(std::uint32_t osd);
+  /// Apply `f` to both directions of every connection matching (osd, peer);
+  /// peer == kAllPeers matches every link touching `osd`.
+  void set_link_fault(std::uint32_t osd, std::uint32_t peer, const net::Connection::Fault& f);
+  /// Recompute acting sets after a CRUSH up/down flip, push them to the
+  /// surviving/new members, and backfill newcomers asynchronously.
+  void retarget_pgs(const std::vector<std::vector<std::uint32_t>>& old_acting);
+  void trace_event(std::size_t idx);
+
+  sim::Simulation& sim_;
+  cluster::ClusterMap& cmap_;
+  std::vector<osd::Osd*> osds_;
+  std::vector<dev::SsdModel*> ssds_;
+  std::vector<net::Messenger*> endpoints_;
+  std::uint64_t seed_;
+  FaultPlan plan_;
+  Counters counters_;
+  bool installed_ = false;
+};
+
+}  // namespace afc::fault

@@ -1,0 +1,158 @@
+#include "fault/plan.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace afc::fault {
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kOsdCrash: return "osd_crash";
+    case FaultKind::kOsdRestart: return "osd_restart";
+    case FaultKind::kSsdSlow: return "ssd_slow";
+    case FaultKind::kLinkDrop: return "link_drop";
+    case FaultKind::kLinkDelay: return "link_delay";
+    case FaultKind::kLinkPartition: return "link_partition";
+    case FaultKind::kJournalStall: return "journal_stall";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::crash(Time at, std::uint32_t osd) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOsdCrash;
+  e.osd = osd;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(Time at, std::uint32_t osd) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOsdRestart;
+  e.osd = osd;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_restart(Time at, std::uint32_t osd, Time downtime) {
+  crash(at, osd);
+  restart(at + downtime, osd);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ssd_slow(Time at, std::uint32_t osd, double factor, Time duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSsdSlow;
+  e.osd = osd;
+  e.factor = factor;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_drop(Time at, std::uint32_t osd, std::uint32_t peer, double p,
+                                Time duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDrop;
+  e.osd = osd;
+  e.peer = peer;
+  e.p = p;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_delay(Time at, std::uint32_t osd, std::uint32_t peer, Time added_ns,
+                                 Time duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDelay;
+  e.osd = osd;
+  e.peer = peer;
+  e.added_ns = added_ns;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_partition(Time at, std::uint32_t osd, std::uint32_t peer,
+                                     Time duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkPartition;
+  e.osd = osd;
+  e.peer = peer;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::journal_stall(Time at, std::uint32_t osd, Time duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kJournalStall;
+  e.osd = osd;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, Time warmup, Time horizon, unsigned n_events,
+                            std::uint32_t osd_count) {
+  FaultPlan plan;
+  Rng rng(seed ^ 0xFA017ull);
+  const Time span = horizon > warmup ? horizon - warmup : 0;
+  for (unsigned i = 0; i < n_events && span > 0 && osd_count > 0; i++) {
+    const Time at = warmup + Time(rng.uniform() * double(span) * 0.8);
+    const std::uint32_t osd = std::uint32_t(rng.uniform_int(0, osd_count - 1));
+    const Time dur = Time((0.05 + 0.15 * rng.uniform()) * double(span));
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        // Crash always paired with a restart inside the horizon: the soak
+        // verifies recovery, not permanent shrinkage.
+        plan.crash_restart(at, osd, dur);
+        break;
+      case 1:
+        plan.ssd_slow(at, osd, 2.0 + 6.0 * rng.uniform(), dur);
+        break;
+      case 2: {
+        const std::uint32_t peer = std::uint32_t(rng.uniform_int(0, osd_count - 1));
+        plan.link_drop(at, osd, peer == osd ? kAllPeers : peer, 0.05 + 0.25 * rng.uniform(),
+                       dur);
+        break;
+      }
+      case 3: {
+        const std::uint32_t peer = std::uint32_t(rng.uniform_int(0, osd_count - 1));
+        plan.link_delay(at, osd, peer == osd ? kAllPeers : peer,
+                        Time(rng.uniform_int(100, 2000)) * kMicrosecond, dur);
+        break;
+      }
+      case 4:
+        plan.journal_stall(at, osd, dur / 4);
+        break;
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char line[160];
+  for (const FaultEvent& e : events) {
+    std::snprintf(line, sizeof line,
+                  "  t=%9.3fms %-14s osd=%u peer=%d factor=%.2f p=%.2f add=%.3fms dur=%.3fms\n",
+                  double(e.at) / double(kMillisecond), kind_name(e.kind), e.osd,
+                  e.peer == kAllPeers ? -1 : int(e.peer), e.factor, e.p,
+                  double(e.added_ns) / double(kMillisecond),
+                  double(e.duration) / double(kMillisecond));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace afc::fault

@@ -43,6 +43,11 @@ sim::CoTask<void> Journal::writer_loop() {
     }
     std::uint64_t total = cfg_.header_bytes;
     for (const Pending* p : batch) total += p->bytes;
+    if (sim_.now() < stall_until_) {
+      // Injected device stall: hold the batch until the stall lifts.
+      injected_stalls_++;
+      co_await sim::delay(sim_, stall_until_ - sim_.now(), "journal.stall");
+    }
     co_await nvram_.submit(dev::IoType::kWrite, write_pos_, total);
     write_pos_ = (write_pos_ + total) % cfg_.size_bytes;
     bytes_written_ += total;

@@ -41,6 +41,15 @@ class Journal {
   /// Stop the writer loop (drain first for clean shutdown).
   void close() { queue_.close(); }
 
+  /// Fault injection: the journal device stops completing writes until sim
+  /// time `t` (an NVRAM firmware hiccup / supercap recharge stall). Batches
+  /// queue up behind the stall and drain as one burst when it lifts;
+  /// reserve() backpressure upstream is unchanged.
+  void stall_until(Time t) {
+    if (t > stall_until_) stall_until_ = t;
+  }
+  std::uint64_t injected_stalls() const { return injected_stalls_; }
+
   std::uint64_t entries_written() const { return entries_; }
   std::uint64_t batches_written() const { return batches_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
@@ -68,6 +77,8 @@ class Journal {
   std::uint64_t entries_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t bytes_written_ = 0;
+  Time stall_until_ = 0;
+  std::uint64_t injected_stalls_ = 0;
 };
 
 }  // namespace afc::fs

@@ -13,6 +13,11 @@ Connection::Connection(Messenger& local, Messenger& remote, const Config& cfg)
       nagle_timer_(local.simulation()) {}
 
 void Connection::send(Message m) {
+  if (local_.blackholed_) {
+    // The sending daemon is "crashed": nothing leaves the node.
+    local_.blackholed_msgs_++;
+    return;
+  }
   sent_++;
   inflight_++;
   if (trace::Collector::active() != nullptr && m.trace.valid()) {
@@ -21,10 +26,49 @@ void Connection::send(Message m) {
   tx_.try_push(std::move(m));  // tx_ is unbounded; try_push never fails while open
 }
 
+void Connection::set_fault(const Fault& f, std::uint64_t seed) {
+  fault_ = f;
+  fault_rng_.reseed(seed);
+}
+
+void Connection::schedule_resend(Message m) {
+  // TCP-style retransmission, coarse: after the RTO the segment re-enters
+  // the send queue at the back, so traffic sent meanwhile overtakes it —
+  // the receiver observes reordering (and, with a duplicated ack path,
+  // duplicates). A coroutine (not a bare wheel event) because Message is
+  // too big for an inline EventFn capture.
+  resends_++;
+  sim::spawn_fn([this, msg = std::move(m)]() mutable -> sim::CoTask<void> {
+    co_await sim::delay(local_.simulation(), cfg_.retransmit_delay, "net.retransmit");
+    if (!tx_.try_push(std::move(msg))) inflight_--;  // connection closed meanwhile
+  });
+}
+
 sim::CoTask<void> Connection::sender_loop() {
   for (;;) {
     auto m = co_await tx_.pop();
     if (!m) break;
+    // Injected link faults: decide this transmission's fate before it costs
+    // anything (the drop models loss in the fabric; the partitioned case
+    // retries nothing — silence until the fault clears).
+    if (fault_.partitioned) {
+      dropped_++;
+      inflight_--;
+      continue;
+    }
+    if (fault_.drop_p > 0.0 && fault_rng_.chance(fault_.drop_p)) {
+      dropped_++;
+      if (auto* tr = trace::Collector::active(); tr != nullptr && m->trace.valid()) {
+        tr->instant(m->trace, tr->stage_id(stage::kNetLinkDrop), local_.simulation().now());
+      }
+      if (m->resend_attempts < cfg_.max_resends) {
+        m->resend_attempts++;
+        schedule_resend(std::move(*m));
+      } else {
+        inflight_--;  // give up: loss surfaces to the timeout/retry layers
+      }
+      continue;
+    }
     // Nagle: a message whose final segment is a runt (size not a multiple
     // of the MSS — every small/medium KRBD request, including a 4K write's
     // header+payload) waits for the delayed ACK of the previous exchange
@@ -42,7 +86,8 @@ sim::CoTask<void> Connection::sender_loop() {
     }
     co_await local_.node().cpu().consume(cfg_.send_cpu);
     co_await local_.node().nic_transmit(m->size);
-    co_await sim::delay(local_.simulation(), cfg_.prop_latency, "net.propagation");
+    const Time prop = cfg_.prop_latency + fault_.added_delay;
+    co_await sim::delay(local_.simulation(), prop, "net.propagation");
     co_await rx_.push(std::move(*m));
   }
 }
@@ -51,6 +96,13 @@ sim::CoTask<void> Connection::receiver_loop() {
   for (;;) {
     auto m = co_await rx_.pop();
     if (!m) break;
+    if (remote_.blackholed_) {
+      // The receiving daemon is "crashed": the message reached the host but
+      // no process consumes it. No CPU charged — dead daemons do no work.
+      remote_.blackholed_msgs_++;
+      inflight_--;
+      continue;
+    }
     const Time cpu =
         cfg_.recv_cpu + Time(cfg_.per_conn_recv_cpu) * remote_.rx_connections();
     co_await remote_.node().cpu().consume(cpu);

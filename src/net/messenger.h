@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/trace.h"
 #include "net/link.h"
 #include "sim/channel.h"
@@ -25,6 +26,8 @@ struct Message {
   /// Op attribution for the tracer (set by senders only while tracing).
   trace::Span trace;
   Time trace_send_ns = 0;  // send() enqueue time, for the net.wire span
+  /// Times this message has been retransmitted after a lossy-link drop.
+  std::uint16_t resend_attempts = 0;
 };
 
 class Messenger;
@@ -60,6 +63,26 @@ class Connection {
     Time nagle_stall = 3 * kMillisecond;
     std::uint64_t mss = 1448;
     std::uint64_t nagle_max_size = 64 * 1024;  // larger transfers stream
+    /// Lossy-link recovery (TCP retransmission, coarse): a message dropped
+    /// by an injected link fault is re-enqueued after this delay, up to
+    /// `max_resends` attempts. Later traffic overtakes the retransmission,
+    /// so receivers see duplicates and reordering — exactly what the fault
+    /// tests exercise.
+    Time retransmit_delay = 200 * kMicrosecond;
+    unsigned max_resends = 8;
+  };
+
+  /// Injected link fault state (set by fault::FaultInjector, default off).
+  /// `drop_p` drops each transmission independently (retransmitted per the
+  /// Config); `added_delay` stretches propagation; `partitioned` drops
+  /// everything with no retransmission (TCP would retry into the void — we
+  /// model the application-visible outcome: silence until the fault clears).
+  struct Fault {
+    double drop_p = 0.0;
+    Time added_delay = 0;
+    bool partitioned = false;
+
+    bool any() const { return drop_p > 0.0 || added_delay != 0 || partitioned; }
   };
 
   Connection(Messenger& local, Messenger& remote, const Config& cfg);
@@ -71,8 +94,16 @@ class Connection {
   Messenger& local() { return local_; }
   Messenger& remote() { return remote_; }
 
+  /// Install / clear an injected link fault on this direction. `seed` feeds
+  /// the drop coin-flip stream (deterministic per connection).
+  void set_fault(const Fault& f, std::uint64_t seed);
+  void clear_fault() { fault_ = Fault{}; }
+  const Fault& fault() const { return fault_; }
+
   std::uint64_t sent() const { return sent_; }
   std::uint64_t nagle_stalls() const { return nagle_stalls_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t resends() const { return resends_; }
 
   /// Stop the pipelines once drained (for clean shutdown).
   void close();
@@ -81,6 +112,7 @@ class Connection {
   friend class Messenger;
   sim::CoTask<void> sender_loop();
   sim::CoTask<void> receiver_loop();
+  void schedule_resend(Message m);
 
   Messenger& local_;
   Messenger& remote_;
@@ -89,9 +121,13 @@ class Connection {
   sim::Channel<Message> tx_;
   sim::Channel<Message> rx_;
   sim::Timer nagle_timer_;  // cancellable: close() drops a stall in flight
+  Fault fault_;
+  Rng fault_rng_{0};
   std::uint64_t inflight_ = 0;  // messages in this direction's pipelines
   std::uint64_t sent_ = 0;
   std::uint64_t nagle_stalls_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t resends_ = 0;
 };
 
 /// A message endpoint bound to a Node and a Receiver.
@@ -114,6 +150,20 @@ class Messenger {
   unsigned rx_connections() const { return rx_connections_; }
   std::uint64_t delivered() const { return delivered_; }
 
+  /// Crash simulation: a blackholed endpoint sends nothing (messages vanish
+  /// at send()) and receives nothing (deliveries vanish before on_message,
+  /// charging no CPU — a dead process does no work). In-flight coroutines
+  /// keep running but their outputs never leave the node; un-blackholing
+  /// models the daemon restarting on the same messenger.
+  void set_blackhole(bool dead) { blackholed_ = dead; }
+  bool blackholed() const { return blackholed_; }
+  std::uint64_t blackholed_msgs() const { return blackholed_msgs_; }
+
+  /// The connection *directions* this messenger initiated (both directions
+  /// of every pair created by our connect()). The fault injector scans these
+  /// to find every link touching a target endpoint.
+  const std::vector<std::unique_ptr<Connection>>& connections() const { return conns_; }
+
   void close_all();
 
  private:
@@ -125,6 +175,8 @@ class Messenger {
   std::vector<std::unique_ptr<Connection>> conns_;
   unsigned rx_connections_ = 0;
   std::uint64_t delivered_ = 0;
+  bool blackholed_ = false;
+  std::uint64_t blackholed_msgs_ = 0;
 };
 
 }  // namespace afc::net

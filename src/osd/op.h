@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/payload.h"
 #include "common/stage_names.h"
@@ -45,10 +46,13 @@ struct RepOpMsg : net::MsgBody {
   std::uint64_t version = 0;
 };
 
-/// Replica journal-commit ack (MOSDRepOpReply).
+/// Replica journal-commit ack (MOSDRepOpReply). `from_osd` lets the primary
+/// credit each replica once even when lossy-link retransmission or repop
+/// resends duplicate the ack.
 struct RepReplyMsg : net::MsgBody {
   std::uint64_t op_id = 0;
   std::uint32_t pg = 0;
+  std::uint32_t from_osd = 0;
 };
 
 /// Reply to the client.
@@ -90,6 +94,17 @@ struct OpCtx {
   bool acked = false;
   trace::Span span;  // set at dispatch only while tracing; invalid otherwise
   std::array<Time, kStageCount> ts{};
+
+  // --- replication-recovery state (inert unless OsdConfig::rep_timeout) ---
+  std::uint64_t version = 0;     // PG version of this write (repop resends)
+  unsigned commits_planned = 0;  // commits_needed at submit (degraded-ack accounting)
+  unsigned min_commits = 0;      // durable replicas required before an ack
+  unsigned rep_retries = 0;      // repop resend rounds so far
+  std::vector<std::uint32_t> waiting_peers;    // replicas not yet committed
+  std::vector<std::uint32_t> peers_committed;  // replicas credited (ack dedup)
+  sim::TimerToken rep_timer;  // replication watchdog (cancelled at ack)
+  bool rep_timer_armed = false;
+  bool failed = false;  // resolved with ok=false after bounded retries
 
   void stamp(Stage s, Time now) { ts[s] = now; }
 };

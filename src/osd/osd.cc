@@ -1,5 +1,7 @@
 #include "osd/osd.h"
 
+#include <algorithm>
+
 namespace afc::osd {
 
 namespace {
@@ -165,6 +167,15 @@ sim::CoTask<void> Osd::dispatch_rep_reply(std::shared_ptr<RepReplyMsg> msg) {
   auto it = inflight_.find(msg->op_id);
   if (it == inflight_.end()) co_return;
   OpRef op = it->second;
+  // Credit each replica once: lossy-link retransmission and watchdog repop
+  // resends can both duplicate the commit ack.
+  if (std::find(op->peers_committed.begin(), op->peers_committed.end(), msg->from_osd) !=
+      op->peers_committed.end()) {
+    counters_.add("osd.dup_rep_replies");
+    co_return;
+  }
+  op->peers_committed.push_back(msg->from_osd);
+  std::erase(op->waiting_peers, msg->from_osd);
   if (profile_.fast_ack) {
     // AFCeph: replica commit handled right here, no PG-queue round trip.
     co_await charge_cpu(cfg_.repreply_cpu, false);
@@ -329,28 +340,20 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
 
   // Splay replication: subops to every replica, ack when all journals
   // (local + replicas) have committed.
+  op->version = version;
   op->commits_needed = unsigned(pg.acting().size());
   for (std::uint32_t peer : pg.acting()) {
     if (peer == id_) continue;
-    auto rep = std::make_shared<RepOpMsg>();
-    rep->op_id = msg.op_id;
-    rep->pg = msg.pg;
-    rep->oid = msg.oid;
-    rep->offset = msg.offset;
-    rep->data = msg.data;
-    rep->version = version;
-    auto it = peers_.find(peer);
-    if (it == peers_.end()) {
+    if (peers_.find(peer) == peers_.end()) {
       op->commits_needed--;  // peer unreachable (e.g. degraded test setups)
       continue;
     }
-    net::Message wire;
-    wire.type = kRepOp;
-    wire.size = msg.data.size() + cfg_.repop_header_bytes;
-    wire.body = std::move(rep);
-    wire.trace = op->span;
-    it->second->send(std::move(wire));
+    send_rep_op(*op, peer);
+    op->waiting_peers.push_back(peer);
   }
+  op->commits_planned = op->commits_needed;
+  op->min_commits = std::min(cmap_.min_size(), op->commits_needed);
+  if (cfg_.rep_timeout > 0 && !op->waiting_peers.empty()) arm_rep_timer(op);
   op->stamp(kStSubmitted, sim_.now());
 
   // Admission to journal+filestore — still inside the PG critical section,
@@ -456,6 +459,7 @@ sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
       auto reply = std::make_shared<RepReplyMsg>();
       reply->op_id = rep->op_id;
       reply->pg = rep->pg;
+      reply->from_osd = id_;
       net::Message wire;
       wire.type = kRepReply;
       wire.size = cfg_.reply_msg_bytes;
@@ -492,17 +496,123 @@ sim::CoTask<void> Osd::process_ack_locked(WorkItem& item) {
 // ---------------------------------------------------------------------------
 
 void Osd::handle_commit_recorded(OpRef& op) {
-  if (op->commits_seen >= op->commits_needed && !op->acked) {
-    op->acked = true;
-    if (profile_.fast_ack) {
-      fast_ack_now(op);
-    } else {
-      WorkItem item;
-      item.kind = WorkItem::kAckEvent;
-      item.pg = op->msg->pg;
-      item.op = op;
-      shard_push(std::move(item));  // the ack competes with data ops again
+  if (op->commits_seen < op->commits_needed || op->acked || op->failed) return;
+  disarm_rep_timer(*op);
+  if (op->commits_seen < op->min_commits) {
+    // The watchdog abandoned so many peers that fewer than min_size copies
+    // are durable: the write must not be acknowledged.
+    fail_op(op);
+    return;
+  }
+  op->acked = true;
+  if (profile_.fast_ack) {
+    fast_ack_now(op);
+  } else {
+    WorkItem item;
+    item.kind = WorkItem::kAckEvent;
+    item.pg = op->msg->pg;
+    item.op = op;
+    shard_push(std::move(item));  // the ack competes with data ops again
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication recovery (inert while OsdConfig::rep_timeout == 0)
+// ---------------------------------------------------------------------------
+
+void Osd::send_rep_op(OpCtx& op, std::uint32_t peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  ClientIoMsg& msg = *op.msg;
+  auto rep = std::make_shared<RepOpMsg>();
+  rep->op_id = msg.op_id;
+  rep->pg = msg.pg;
+  rep->oid = msg.oid;
+  rep->offset = msg.offset;
+  rep->data = msg.data;
+  rep->version = op.version;
+  net::Message wire;
+  wire.type = kRepOp;
+  wire.size = msg.data.size() + cfg_.repop_header_bytes;
+  wire.body = std::move(rep);
+  wire.trace = op.span;
+  it->second->send(std::move(wire));
+}
+
+void Osd::arm_rep_timer(OpRef& op) {
+  op->rep_timer_armed = true;
+  op->rep_timer = sim_.schedule_after(
+      cfg_.rep_timeout, [this, id = op->msg->op_id] { on_rep_timeout(id); },
+      "osd.rep_timeout");
+}
+
+void Osd::disarm_rep_timer(OpCtx& op) {
+  if (!op.rep_timer_armed) return;
+  op.rep_timer_armed = false;
+  sim_.cancel(op.rep_timer);
+}
+
+void Osd::on_rep_timeout(std::uint64_t op_id) {
+  auto it = inflight_.find(op_id);
+  if (it == inflight_.end()) return;
+  OpRef op = it->second;
+  op->rep_timer_armed = false;
+  if (op->acked || op->failed || op->waiting_peers.empty()) return;
+  if (op->rep_retries < cfg_.rep_retries) {
+    op->rep_retries++;
+    counters_.add("osd.rep_retry_rounds");
+    if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+      tr->instant(op->span, tr->stage_id(stage::kOsdRepRetry), sim_.now());
     }
+    for (std::uint32_t peer : op->waiting_peers) send_rep_op(*op, peer);
+    arm_rep_timer(op);
+    return;
+  }
+  // Retries exhausted: abandon the silent peers and resolve the op with
+  // whatever is durable — a degraded ack if min_size copies committed,
+  // an ok=false failure otherwise.
+  counters_.add("osd.rep_peers_abandoned", op->waiting_peers.size());
+  op->commits_needed -= unsigned(op->waiting_peers.size());
+  op->waiting_peers.clear();
+  handle_commit_recorded(op);
+}
+
+void Osd::fail_op(OpRef op) {
+  if (op->acked || op->failed) return;
+  op->failed = true;
+  disarm_rep_timer(*op);
+  counters_.add("osd.write_failures");
+  ClientIoMsg& msg = *op->msg;
+  throttles_.messages.release(1);
+  throttles_.message_bytes.release(msg.data.size() + 150);
+  inflight_.erase(msg.op_id);
+  if (profile_.ordered_acks && msg.is_write) {
+    // Drop the failed op from the ordered-ack ledger, then drain any acks it
+    // was holding back.
+    auto& st = ack_state_[msg.client_id];
+    st.outstanding.erase(msg.op_id);
+    st.held.erase(msg.op_id);
+    while (!st.held.empty() && !st.outstanding.empty() &&
+           st.held.begin()->first == *st.outstanding.begin()) {
+      OpRef next = st.held.begin()->second;
+      st.held.erase(st.held.begin());
+      st.outstanding.erase(st.outstanding.begin());
+      send_reply_message(next);
+    }
+  }
+  auto reply = std::make_shared<IoReplyMsg>();
+  reply->op_id = msg.op_id;
+  reply->is_write = true;
+  reply->ok = false;
+  reply->issued_at = msg.issued_at;
+  net::Message wire;
+  wire.type = kWriteReply;
+  wire.size = cfg_.reply_msg_bytes;
+  wire.body = std::move(reply);
+  wire.trace = op->span;
+  if (op->reply_conn != nullptr) op->reply_conn->send(std::move(wire));
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    tr->end(op->span, tr->stage_id(stage::kWriteOp), sim_.now());
   }
 }
 
@@ -542,6 +652,7 @@ sim::CoTask<void> Osd::finisher_loop() {
           auto reply = std::make_shared<RepReplyMsg>();
           reply->op_id = evt->rep->op_id;
           reply->pg = evt->rep->pg;
+          reply->from_osd = id_;
           net::Message wire;
           wire.type = kRepReply;
           wire.size = cfg_.reply_msg_bytes;
@@ -718,6 +829,11 @@ void Osd::deliver_ack(OpRef op) {
 
 void Osd::send_reply_message(OpRef& op) {
   ClientIoMsg& msg = *op->msg;
+  // Safety invariant: acks_below_min_size must stay 0 under every fault plan
+  // (the chaos soak asserts it); acks_degraded counts legitimate degraded
+  // acks issued after the watchdog abandoned a dead peer.
+  if (op->commits_seen < op->min_commits) counters_.add("osd.acks_below_min_size");
+  if (op->commits_seen < op->commits_planned) counters_.add("osd.acks_degraded");
   op->stamp(kStAcked, sim_.now());
   for (unsigned s = 1; s < kStageCount; s++) {
     if (op->ts[s] >= op->ts[s - 1] && op->ts[s] != 0) {

@@ -55,6 +55,15 @@ struct OsdConfig {
   unsigned completion_batch_max = 64;
   std::uint64_t reply_msg_bytes = 150;
   std::uint64_t repop_header_bytes = 256;
+
+  /// Primary-side replication watchdog: if a replica's commit ack is not
+  /// seen within `rep_timeout` ns, resend the subop (up to `rep_retries`
+  /// rounds), then give up on the missing peers — ack degraded if at least
+  /// `min_size` replicas (pool config) are durable, else fail the op back
+  /// to the client with ok=false. 0 disables the watchdog entirely (the
+  /// seed behaviour: no timer events are ever scheduled).
+  Time rep_timeout = 0;
+  unsigned rep_retries = 2;
 };
 
 /// One Ceph OSD daemon: messenger dispatch → sharded OP_WQ → PG (lock or
@@ -147,6 +156,17 @@ class Osd : public net::Receiver {
 
   // --- metadata ---------------------------------------------------------
   sim::CoTask<ObjectMeta> ensure_object_meta(const fs::ObjectId& oid);
+
+  // --- replication recovery ---------------------------------------------
+  void send_rep_op(OpCtx& op, std::uint32_t peer);
+  void arm_rep_timer(OpRef& op);
+  void disarm_rep_timer(OpCtx& op);
+  /// Replication watchdog fired for `op_id`: resend subops to peers still
+  /// missing, or — retries exhausted — abandon them and resolve the op
+  /// (degraded ack / failure).
+  void on_rep_timeout(std::uint64_t op_id);
+  /// Resolve an op as failed: reply ok=false, release throttles, account.
+  void fail_op(OpRef op);
 
   // --- journal & completions --------------------------------------------
   struct CompletionEvent {

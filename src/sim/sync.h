@@ -9,6 +9,12 @@
 
 namespace afc::sim {
 
+/// Result of a timed wait. An enum rather than a bool so call sites read
+/// unambiguously: `if (co_await cv.wait_for(t) == TimedOut::kYes)` cannot be
+/// inverted silently the way `if (co_await cv.wait_for(t))` could (where the
+/// reader must remember whether true meant "notified" or "expired").
+enum class TimedOut { kNo, kYes };
+
 /// Condition variable for simulated coroutines. Because the simulator is
 /// single-threaded and resumptions go through the event queue, no mutex is
 /// needed: callers re-check their predicate in a `while` loop and notify
@@ -28,11 +34,11 @@ class CondVar {
     CondVar& cv_;
   };
 
-  /// Timed wait: resumes on notify (await returns true) or after `timeout`
-  /// ns (returns false). Whichever side loses drops its pending state at
-  /// cancel time — a notify cancels the deadline event off the timing wheel
-  /// (no tombstone executes later), a timeout removes the waiter from the
-  /// notify queue.
+  /// Timed wait: resumes on notify (await returns TimedOut::kNo) or after
+  /// `timeout` ns (TimedOut::kYes). Whichever side loses drops its pending
+  /// state at cancel time — a notify cancels the deadline event off the
+  /// timing wheel (no tombstone executes later), a timeout removes the
+  /// waiter from the notify queue.
   class TimedWaiter {
    public:
     TimedWaiter(CondVar& cv, Time timeout) : cv_(cv), timeout_(timeout) {}
@@ -43,7 +49,9 @@ class CondVar {
       token_ = cv_.sim_.schedule_after(timeout_, [w = this] { w->on_timeout(); },
                                        "sync.cv_timeout");
     }
-    bool await_resume() const noexcept { return !timed_out_; }
+    TimedOut await_resume() const noexcept {
+      return timed_out_ ? TimedOut::kYes : TimedOut::kNo;
+    }
 
    private:
     friend class CondVar;
@@ -267,11 +275,12 @@ class OneShot {
   CoTask<void> wait() {
     while (!set_) co_await cv_.wait();
   }
-  /// Wait with a deadline: true if set() arrived within `timeout` ns. Only
-  /// set() notifies, so a single timed wait suffices (no spurious wakeups).
-  CoTask<bool> wait_for(Time timeout) {
+  /// Wait with a deadline: TimedOut::kNo if set() arrived within `timeout`
+  /// ns, TimedOut::kYes otherwise. Only set() notifies, so a single timed
+  /// wait suffices (no spurious wakeups).
+  CoTask<TimedOut> wait_for(Time timeout) {
     if (!set_) co_await cv_.wait_for(timeout);
-    co_return set_;
+    co_return set_ ? TimedOut::kNo : TimedOut::kYes;
   }
   void set() {
     set_ = true;

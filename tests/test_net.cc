@@ -176,6 +176,84 @@ TEST(Messenger, PerConnectionCpuTaxGrowsWithConnections) {
   EXPECT_GT(busy_many, busy_one + 50 * kMicrosecond);
 }
 
+TEST(Messenger, ZeroLengthPayloadDelivers) {
+  // Control messages (pings, map updates) can be header-only. A zero wire
+  // size must neither divide-by-zero in the Nagle runt check nor stall the
+  // pipeline — with nagle off it delivers promptly like any runt.
+  NetFixture f;
+  Connection::Config cfg;
+  cfg.nagle = false;
+  Connection* c = f.ma.connect(f.mb, cfg);
+  c->send(msg(7, 0));
+  f.sim.run();
+  ASSERT_EQ(f.rx_b.types.size(), 1u);
+  EXPECT_EQ(f.rx_b.types[0], 7);
+  EXPECT_LT(f.rx_b.at[0], 1 * kMillisecond);
+}
+
+TEST(Messenger, DuplicateSendsDeliverInOrder) {
+  // The wire offers no dedup: two sends of the same logical message arrive
+  // as two deliveries, in order. De-duplication is the receiver's job (the
+  // OSD's rep-reply path counts osd.dup_rep_replies — see test_fault.cc).
+  NetFixture f;
+  Connection* c = f.ma.connect(f.mb, Connection::Config{});
+  c->send(msg(9, 1000));
+  c->send(msg(9, 1000));
+  f.sim.run();
+  ASSERT_EQ(f.rx_b.types.size(), 2u);
+  EXPECT_EQ(f.rx_b.types[0], 9);
+  EXPECT_EQ(f.rx_b.types[1], 9);
+}
+
+TEST(Messenger, DroppedMessageIsRetransmittedOnce) {
+  // drop_p = 1.0 guarantees the first transmission is dropped; clearing the
+  // fault before the retransmit timer fires guarantees the second attempt
+  // succeeds. Exactly one delivery, one drop, one resend — deterministic.
+  NetFixture f;
+  Connection* c = f.ma.connect(f.mb, Connection::Config{});
+  c->set_fault(Connection::Fault{.drop_p = 1.0}, /*seed=*/1);
+  c->send(msg(5, 4096));
+  f.sim.run_until(100 * kMicrosecond);  // first attempt drops; resend pending
+  EXPECT_EQ(c->dropped(), 1u);
+  EXPECT_TRUE(f.rx_b.types.empty());
+  c->clear_fault();
+  f.sim.run();
+  ASSERT_EQ(f.rx_b.types.size(), 1u);
+  EXPECT_EQ(f.rx_b.types[0], 5);
+  EXPECT_EQ(c->resends(), 1u);
+}
+
+TEST(Messenger, DelayedResendArrivesOutOfOrder) {
+  // A drops, its retransmission re-enters the send queue at the back, and a
+  // message sent meanwhile overtakes it: the receiver observes reordering,
+  // which the OSD layers must tolerate (and the fault tests exercise).
+  NetFixture f;
+  Connection* c = f.ma.connect(f.mb, Connection::Config{});
+  c->set_fault(Connection::Fault{.drop_p = 1.0}, /*seed=*/1);
+  c->send(msg(1, 4096));  // dropped; retransmits after retransmit_delay
+  f.sim.run_until(100 * kMicrosecond);
+  c->clear_fault();
+  c->send(msg(2, 4096));  // sent after A, arrives before A's retransmission
+  f.sim.run();
+  ASSERT_EQ(f.rx_b.types.size(), 2u);
+  EXPECT_EQ(f.rx_b.types[0], 2);
+  EXPECT_EQ(f.rx_b.types[1], 1);
+}
+
+TEST(Messenger, PartitionDropsWithoutRetransmission) {
+  // Partitioned links model the application-visible outcome of TCP retrying
+  // into the void: silence, no resend traffic, recovery left to the upper
+  // layers' timeouts.
+  NetFixture f;
+  Connection* c = f.ma.connect(f.mb, Connection::Config{});
+  c->set_fault(Connection::Fault{.partitioned = true}, /*seed=*/1);
+  for (int i = 0; i < 5; i++) c->send(msg(i, 1000));
+  f.sim.run();
+  EXPECT_TRUE(f.rx_b.types.empty());
+  EXPECT_EQ(c->dropped(), 5u);
+  EXPECT_EQ(c->resends(), 0u);
+}
+
 TEST(Messenger, CloseCancelsNagleStallInFlight) {
   // A runt message on an idle connection parks the sender in a 3 ms Nagle
   // stall. close() must cancel that timer off the wheel and wake the sender

@@ -729,23 +729,23 @@ TEST(Timer, SleepExpiresTrueCancelFalse) {
 TEST(CondVar, WaitForTimesOutWithoutNotify) {
   Simulation sim;
   CondVar cv(sim);
-  bool notified = true;
-  auto waiter = [&]() -> CoTask<void> { notified = co_await cv.wait_for(500); };
+  TimedOut result = TimedOut::kNo;
+  auto waiter = [&]() -> CoTask<void> { result = co_await cv.wait_for(500); };
   spawn(waiter());
   sim.run();
-  EXPECT_FALSE(notified);
+  EXPECT_EQ(result, TimedOut::kYes);
   EXPECT_EQ(sim.now(), 500u);
 }
 
 TEST(CondVar, NotifyCancelsDeadlineOffTheWheel) {
   Simulation sim;
   CondVar cv(sim);
-  bool notified = false;
-  auto waiter = [&]() -> CoTask<void> { notified = co_await cv.wait_for(500); };
+  TimedOut result = TimedOut::kYes;
+  auto waiter = [&]() -> CoTask<void> { result = co_await cv.wait_for(500); };
   spawn(waiter());
   sim.schedule_at(10, [&] { cv.notify_one(); });
   sim.run();
-  EXPECT_TRUE(notified);
+  EXPECT_EQ(result, TimedOut::kNo);
   // The 500 ns deadline was cancelled, not left to fire as a tombstone:
   // after draining, the clock never reached it.
   EXPECT_LT(sim.now(), 500u);
@@ -754,15 +754,15 @@ TEST(CondVar, NotifyCancelsDeadlineOffTheWheel) {
 TEST(OneShot, WaitForHonorsTimeoutAndSet) {
   Simulation sim;
   OneShot early(sim), never(sim);
-  bool got_early = false, got_never = true;
+  TimedOut got_early = TimedOut::kYes, got_never = TimedOut::kNo;
   auto w1 = [&]() -> CoTask<void> { got_early = co_await early.wait_for(1000); };
   auto w2 = [&]() -> CoTask<void> { got_never = co_await never.wait_for(1000); };
   spawn(w1());
   spawn(w2());
   sim.schedule_at(50, [&] { early.set(); });
   sim.run();
-  EXPECT_TRUE(got_early);
-  EXPECT_FALSE(got_never);
+  EXPECT_EQ(got_early, TimedOut::kNo);   // set() arrived at t=50
+  EXPECT_EQ(got_never, TimedOut::kYes);  // never set; the deadline fired
 }
 
 }  // namespace
