@@ -1,0 +1,15 @@
+// Soak entry point for the rt concurrency stress harness: same suite as
+// tests/stress_rt (src/rt/stress.cc) with heavier defaults — more
+// iterations and a larger per-iteration op multiplier — for long-running
+// shakeouts of the src/rt/ lifecycle contract on real hardware.
+
+#include "rt/stress.h"
+
+int main(int argc, char** argv) {
+  afc::rt::StressOptions defaults;
+  defaults.seed = 1;
+  defaults.iterations = 200;
+  defaults.scale = 4;
+  defaults.verbose = true;
+  return afc::rt::run_stress(afc::rt::parse_stress_args(argc, argv, defaults));
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-shot gate: configure Release, build, run the unit tests, run the
 # event-core microbenchmark, smoke-test the op tracer (including validating
-# the exported Chrome trace JSON), run the chaos fault-injection soak, and
-# re-run that soak under ASan+UBSan. Exits non-zero on the first failure.
+# the exported Chrome trace JSON), run the chaos fault-injection soak,
+# re-run that soak under ASan+UBSan, then run the rt/ concurrency stress
+# harness natively and under ThreadSanitizer. Exits non-zero on the first
+# failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,3 +42,23 @@ LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos"
 echo "sanitized chaos soak OK"
+
+echo
+echo "=== rt stress harness (native, 100 seeded iterations) ==="
+"$BUILD_DIR/tests/stress_rt" --iters 100 --seed 1
+
+echo
+echo "=== rt stress + unit tests under TSan ==="
+# TSan cannot be combined with ASan, so it gets its own build tree. The
+# stress harness exercises every rt/ primitive with randomized thread
+# fleets and mid-flight close()/shutdown(); any data race or lifecycle
+# violation fails the run. scripts/tsan.supp is empty on purpose — keep it
+# that way unless a race is provably benign AND documented there.
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "$TSAN_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAFC_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target stress_rt afceph_rt_tests
+TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
+  "$TSAN_BUILD_DIR/tests/stress_rt" --iters 25 --seed 1
+TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp:halt_on_error=1:second_deadlock_stack=1" \
+  "$TSAN_BUILD_DIR/tests/afceph_rt_tests"
+echo "TSan rt stress OK"

@@ -14,6 +14,11 @@ std::uint64_t Arena::next_id() {
 }
 
 Arena::~Arena() {
+  // Lifecycle contract: destruction must not race allocate/deallocate (all
+  // user threads quiesced first). The lock is still taken so the registry
+  // writes of late-registering threads are visible here, not just by luck
+  // of the joining fence.
+  std::lock_guard lk(caches_mu_);
   for (ThreadCache* tc : caches_) delete tc;
   for (void* slab : slabs_) ::operator delete(slab);
 }

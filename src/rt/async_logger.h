@@ -37,7 +37,11 @@ class AsyncLogger {
   /// the dynamic part of a dout line).
   void log(std::string_view tmpl, std::uint64_t value);
 
-  /// Stop writers after draining.
+  /// Lifecycle contract (docs/MODEL.md): stops intake (a racing log() call
+  /// counts its entry as dropped, never blocks, never loses it silently —
+  /// written() + dropped() == submitted() once producers have returned),
+  /// drains every accepted entry to the ring, then joins the writers.
+  /// Idempotent; the destructor calls it.
   void shutdown();
 
   std::uint64_t submitted() const { return submitted_.load(); }

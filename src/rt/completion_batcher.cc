@@ -8,8 +8,13 @@ CompletionBatcher::CompletionBatcher(Callback cb, std::size_t queue_capacity)
 CompletionBatcher::~CompletionBatcher() { shutdown(); }
 
 bool CompletionBatcher::submit(std::uint64_t key, std::uint64_t value) {
-  if (!queue_.try_push({key, value})) return false;
+  // Count BEFORE the item becomes visible to the worker: an observer must
+  // never see callbacks() > submitted(). Back out on a failed push.
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.try_push({key, value})) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
   return true;
 }
 

@@ -26,11 +26,18 @@ class CompletionBatcher {
   CompletionBatcher(const CompletionBatcher&) = delete;
   CompletionBatcher& operator=(const CompletionBatcher&) = delete;
 
-  /// Producer side: never blocks beyond the queue mutex.
+  /// Producer side: never blocks beyond the queue mutex. False when the
+  /// queue is full or shut down (the record was NOT accepted); every
+  /// accepted record reaches the callback before shutdown() returns.
   bool submit(std::uint64_t key, std::uint64_t value);
 
+  /// Stops intake, drains everything accepted, joins the worker. Idempotent.
   void shutdown();
 
+  /// Exact: submitted() counts accepted records and is incremented before
+  /// the record is visible to the worker, so submitted() >= callbacks() at
+  /// every instant (a transient over-count during a failed submit aside —
+  /// that error is on the safe side of the inequality).
   std::uint64_t submitted() const { return submitted_.load(); }
   std::uint64_t callbacks() const { return callbacks_.load(); }
   std::uint64_t rounds() const { return rounds_.load(); }

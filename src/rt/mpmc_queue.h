@@ -13,6 +13,11 @@ namespace afc::rt {
 /// Bounded multi-producer multi-consumer queue (mutex + condvars): the
 /// baseline thread-handoff primitive for the real-threads implementations
 /// of the paper's mechanisms.
+///
+/// Lifecycle contract (docs/MODEL.md): close() stops intake — push/try_push
+/// return false afterwards — while pop() keeps returning every item
+/// accepted before the close and only then reports nullopt. No accepted
+/// item is ever dropped.
 template <class T>
 class MpmcQueue {
  public:
@@ -85,14 +90,19 @@ class MpmcQueue {
   bool closed_ = false;
 };
 
-/// Lock-free single-producer single-consumer ring (power-of-two capacity).
-/// Used by the non-blocking logger's per-thread submission lanes.
+/// Lock-free single-producer single-consumer ring. Used by the non-blocking
+/// logger's per-thread submission lanes. The requested capacity is rounded
+/// UP to the next power of two (the index mask requires it; a non-pow2
+/// buffer would compute a wrong mask and overwrite live slots), so
+/// capacity() may exceed what was asked for — never less.
 template <class T>
 class SpscRing {
  public:
-  explicit SpscRing(std::size_t capacity_pow2) : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {
+  explicit SpscRing(std::size_t capacity) : buf_(round_pow2(capacity)), mask_(buf_.size() - 1) {
     static_assert(std::is_nothrow_move_assignable_v<T>);
   }
+
+  std::size_t capacity() const { return buf_.size(); }
 
   bool try_push(T v) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
@@ -118,6 +128,12 @@ class SpscRing {
   }
 
  private:
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t c = 1;
+    while (c < n) c <<= 1;
+    return c;  // n == 0 gets the minimum ring of 1 slot
+  }
+
   std::vector<T> buf_;
   std::uint64_t mask_;
   alignas(64) std::atomic<std::uint64_t> head_{0};

@@ -1,0 +1,571 @@
+#include "rt/stress.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "rt/arena.h"
+#include "rt/async_logger.h"
+#include "rt/completion_batcher.h"
+#include "rt/mpmc_queue.h"
+#include "rt/sharded_opqueue.h"
+#include "rt/throttle.h"
+
+namespace afc::rt {
+namespace {
+
+/// Everything a failure report needs; shared by checks running on worker
+/// threads (abort from any thread halts the whole run, which is what a
+/// sanitizer leg wants).
+struct Ctx {
+  const char* scenario;
+  std::uint64_t seed;
+};
+
+void require(bool ok, const Ctx& c, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "stress FAILED: scenario=%s seed=%llu: %s\n", c.scenario,
+               static_cast<unsigned long long>(c.seed), what);
+  std::abort();
+}
+
+/// Exactly-once ledger: producers mark an id accepted BEFORE handing it to
+/// the structure (and un-mark on a rejected hand-off — consumers can only
+/// observe ids that really were enqueued, so the rollback never races a
+/// delivery), consumers mark it seen.
+struct Ledger {
+  explicit Ledger(std::size_t n) : accepted(n), seen(n) {}
+
+  void mark_accepted(std::size_t id) { accepted[id].store(1, std::memory_order_relaxed); }
+  void unmark_accepted(std::size_t id) { accepted[id].store(0, std::memory_order_relaxed); }
+  void mark_seen(std::size_t id, const Ctx& c) {
+    require(accepted[id].load(std::memory_order_relaxed) == 1, c, "delivered an unaccepted op");
+    require(seen[id].fetch_add(1, std::memory_order_relaxed) == 0, c, "duplicate delivery");
+  }
+  void check_exactly_once(const Ctx& c) const {
+    std::size_t dropped = 0, first = 0;
+    for (std::size_t i = 0; i < accepted.size(); i++) {
+      if (accepted[i].load() != seen[i].load()) {
+        if (dropped++ == 0) first = i;
+      }
+    }
+    if (dropped != 0) {
+      std::fprintf(stderr, "ledger: %zu of %zu ids mismatched, first id=%zu acc=%d seen=%d\n",
+                   dropped, accepted.size(), first, int(accepted[first].load()),
+                   int(seen[first].load()));
+    }
+    require(dropped == 0, c, "accepted op was dropped");
+  }
+
+  std::vector<std::atomic<std::uint8_t>> accepted;
+  std::vector<std::atomic<std::uint8_t>> seen;
+};
+
+/// Per-key delivery log for FIFO checks: ids are producer*per+i, so the
+/// per-producer subsequence on each key must be strictly increasing.
+void check_per_key_fifo(const Ctx& c, const std::vector<std::vector<std::uint64_t>>& log,
+                        unsigned producers, unsigned per) {
+  for (const auto& ids : log) {
+    std::vector<std::uint64_t> last(producers, 0);
+    std::vector<bool> any(producers, false);
+    for (std::uint64_t id : ids) {
+      const auto p = static_cast<std::size_t>(id / per);
+      require(!any[p] || id > last[p], c, "per-key FIFO violated for one producer");
+      any[p] = true;
+      last[p] = id;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// MpmcQueue: exactly-once under producer/consumer fleets + mid-flight close.
+// --------------------------------------------------------------------------
+void stress_mpmc(const Ctx& c, Rng& rng, unsigned scale) {
+  const std::size_t cap = rng.chance(0.25) ? 0 : rng.uniform_int(1, 64);
+  const unsigned producers = unsigned(rng.uniform_int(1, 4));
+  const unsigned consumers = unsigned(rng.uniform_int(1, 4));
+  const unsigned per = 400 * scale;
+  const bool mid_close = rng.chance(0.5);
+  const unsigned close_after_us = unsigned(rng.uniform_int(0, 1500));
+  const bool use_try_push = rng.chance(0.4);
+
+  MpmcQueue<std::uint64_t> q(cap);
+  Ledger ledger(std::size_t(producers) * per);
+  std::atomic<std::uint64_t> n_seen{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < producers; p++) {
+    threads.emplace_back([&, p] {
+      for (unsigned i = 0; i < per; i++) {
+        const std::uint64_t id = std::uint64_t(p) * per + i;
+        ledger.mark_accepted(id);
+        const bool ok = use_try_push ? q.try_push(id) : q.push(id);
+        if (!ok) ledger.unmark_accepted(id);
+      }
+    });
+  }
+  for (unsigned k = 0; k < consumers; k++) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        ledger.mark_seen(std::size_t(*v), c);
+        n_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread closer([&] {
+    if (mid_close) {
+      std::this_thread::sleep_for(std::chrono::microseconds(close_after_us));
+      q.close();
+    }
+  });
+  for (unsigned p = 0; p < producers; p++) threads[p].join();
+  closer.join();
+  q.close();  // idempotent; releases consumers once drained
+  for (unsigned k = 0; k < consumers; k++) threads[producers + k].join();
+
+  ledger.check_exactly_once(c);
+  (void)n_seen;
+}
+
+// --------------------------------------------------------------------------
+// SpscRing: strict FIFO at arbitrary capacities (incl. non-power-of-two).
+// --------------------------------------------------------------------------
+void stress_spsc(const Ctx& c, Rng& rng, unsigned scale) {
+  const std::size_t cap = rng.uniform_int(1, 700);
+  SpscRing<std::uint64_t> ring(cap);
+  require(ring.capacity() >= cap, c, "SpscRing capacity below request");
+  require((ring.capacity() & (ring.capacity() - 1)) == 0, c, "SpscRing capacity not pow2");
+
+  const std::uint64_t n = 2000 * scale;
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    while (expect < n) {
+      if (auto v = ring.try_pop()) {
+        require(*v == expect, c, "SpscRing FIFO order violated");
+        expect++;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < n;) {
+    if (ring.try_push(i)) {
+      i++;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  require(!ring.try_pop().has_value(), c, "SpscRing not empty after full consume");
+}
+
+// --------------------------------------------------------------------------
+// ShardedOpQueue (one run per mode): exactly-once + per-key FIFO + PG-lock
+// exclusivity + close-with-backlog drain (ready AND parked items).
+// --------------------------------------------------------------------------
+void stress_opqueue(const Ctx& c, Rng& rng, unsigned scale, bool pending) {
+  const unsigned shards = unsigned(rng.uniform_int(1, 3));
+  // Every shard needs at least one worker or its backlog has no popper
+  // (draining is pop()'s job, not a background thread's).
+  const unsigned workers = shards + unsigned(rng.uniform_int(0, 3));
+  const unsigned producers = unsigned(rng.uniform_int(1, 3));
+  const unsigned keys = unsigned(rng.uniform_int(1, 12));
+  const unsigned per = 250 * scale;
+  const bool mid_close = rng.chance(0.5);
+  // Close somewhere in the middle of the submission stream.
+  const std::uint64_t close_at = rng.uniform_int(1, std::uint64_t(producers) * per);
+
+  // A "hostage" claim held by this (non-worker) thread across the close:
+  // ops stacking up behind the busy key — HOL-blocked in community mode,
+  // parked in pending mode — must survive the close and drain once the
+  // claim is finally completed. This is exactly the path the seed dropped.
+  const bool hostage = rng.chance(0.5);
+
+  ShardedOpQueue<std::uint64_t> q(shards, pending);
+  const std::uint64_t hostage_id = std::uint64_t(producers) * per;
+  Ledger ledger(std::size_t(producers) * per + 1);
+  std::vector<std::atomic<int>> inflight(keys);
+  std::vector<std::vector<std::uint64_t>> log(keys);
+  std::mutex log_mu;
+  std::atomic<std::uint64_t> submitted{0};
+
+  std::optional<ShardedOpQueue<std::uint64_t>::Claimed> hostage_claim;
+  if (hostage) {
+    ledger.mark_accepted(std::size_t(hostage_id));
+    require(q.submit(0, hostage_id), c, "hostage submit rejected on open queue");
+    hostage_claim = q.pop(0);  // deterministic: queue holds only the hostage
+    require(hostage_claim.has_value() && hostage_claim->op == hostage_id, c,
+            "hostage claim did not return the hostage op");
+    ledger.mark_seen(std::size_t(hostage_id), c);
+  }
+
+  std::vector<Rng> prng;
+  for (unsigned p = 0; p < producers; p++) prng.push_back(rng.fork());
+
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < workers; w++) {
+    threads.emplace_back([&, w] {
+      while (auto claimed = q.pop(w % shards)) {
+        const auto key = std::size_t(claimed->key);
+        require(inflight[key].fetch_add(1, std::memory_order_relaxed) == 0, c,
+                "key claimed by two workers at once");
+        ledger.mark_seen(std::size_t(claimed->op), c);
+        {
+          std::lock_guard lk(log_mu);
+          log[key].push_back(claimed->op);
+        }
+        // A pinch of work so completes interleave with submits and parks.
+        volatile unsigned spin = unsigned(claimed->op % 64);
+        while (spin > 0) spin = spin - 1;
+        inflight[key].fetch_sub(1, std::memory_order_relaxed);
+        q.complete(claimed->key);
+      }
+    });
+  }
+  for (unsigned p = 0; p < producers; p++) {
+    threads.emplace_back([&, p] {
+      Rng& r = prng[p];
+      for (unsigned i = 0; i < per; i++) {
+        const std::uint64_t id = std::uint64_t(p) * per + i;
+        const std::uint64_t key = r.uniform_int(0, keys - 1);
+        ledger.mark_accepted(std::size_t(id));
+        if (!q.submit(key, id)) {
+          ledger.unmark_accepted(std::size_t(id));
+        }
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread closer([&] {
+    if (mid_close) {
+      while (submitted.load(std::memory_order_relaxed) < close_at) std::this_thread::yield();
+      q.close();
+    }
+  });
+  for (unsigned p = 0; p < producers; p++) threads[workers + p].join();
+  closer.join();
+  q.close();
+  if (hostage_claim.has_value()) {
+    // Completed only AFTER the close: everything queued behind this key
+    // must still be delivered by the draining workers.
+    q.complete(hostage_claim->key);
+  }
+  for (unsigned w = 0; w < workers; w++) threads[w].join();
+
+  ledger.check_exactly_once(c);
+  check_per_key_fifo(c, log, producers, per);
+}
+
+// --------------------------------------------------------------------------
+// CompletionBatcher: exactly-once + per-key order + the counter invariant
+// callbacks() <= submitted() sampled continuously by an observer thread.
+// --------------------------------------------------------------------------
+void stress_batcher(const Ctx& c, Rng& rng, unsigned scale) {
+  const unsigned producers = unsigned(rng.uniform_int(1, 4));
+  const unsigned keys = unsigned(rng.uniform_int(1, 8));
+  const unsigned per = 400 * scale;
+  const std::size_t capacity = rng.chance(0.3) ? 128 : 16384;
+  const bool early_shutdown = rng.chance(0.4);
+  const std::uint64_t shutdown_at = rng.uniform_int(1, std::uint64_t(producers) * per);
+
+  Ledger ledger(std::size_t(producers) * per);
+  std::vector<std::vector<std::uint64_t>> log(keys);
+  std::mutex log_mu;
+  std::atomic<std::uint64_t> accepted_count{0};
+  std::atomic<std::uint64_t> attempt_count{0};
+  std::atomic<std::uint64_t> delivered_values{0};
+  std::atomic<CompletionBatcher*> self{nullptr};
+
+  CompletionBatcher batcher(
+      [&](std::uint64_t key, const std::vector<std::uint64_t>& vals) {
+        // Strongest form of the counter invariant, checked at the exact
+        // point a violation would surface: every value reaching the
+        // callback must already be counted in submitted().
+        if (CompletionBatcher* b = self.load(std::memory_order_relaxed)) {
+          const std::uint64_t d =
+              delivered_values.fetch_add(vals.size(), std::memory_order_relaxed) + vals.size();
+          require(d <= b->submitted(), c, "values delivered before submitted() counted them");
+        }
+        std::lock_guard lk(log_mu);
+        for (std::uint64_t v : vals) {
+          ledger.mark_seen(std::size_t(v), c);
+          log[std::size_t(key)].push_back(v);
+        }
+      },
+      capacity);
+  self.store(&batcher, std::memory_order_relaxed);
+
+  std::atomic<bool> stop_observer{false};
+  std::thread observer([&] {
+    while (!stop_observer.load(std::memory_order_relaxed)) {
+      // The submit-side increment precedes queue visibility, so this must
+      // hold at every instant, not just at quiescence.
+      require(batcher.callbacks() <= batcher.submitted(), c, "callbacks() > submitted()");
+      std::this_thread::yield();
+    }
+  });
+  std::vector<Rng> prng;
+  for (unsigned p = 0; p < producers; p++) prng.push_back(rng.fork());
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < producers; p++) {
+    threads.emplace_back([&, p] {
+      Rng& r = prng[p];
+      for (unsigned i = 0; i < per; i++) {
+        const std::uint64_t id = std::uint64_t(p) * per + i;
+        const std::uint64_t key = r.uniform_int(0, keys - 1);
+        ledger.mark_accepted(std::size_t(id));
+        if (batcher.submit(key, id)) {
+          accepted_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ledger.unmark_accepted(std::size_t(id));
+        }
+        attempt_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread closer([&] {
+    if (early_shutdown) {
+      while (attempt_count.load(std::memory_order_relaxed) < shutdown_at) {
+        std::this_thread::yield();
+      }
+      batcher.shutdown();
+    }
+  });
+  for (auto& t : threads) t.join();
+  closer.join();
+  batcher.shutdown();
+  stop_observer.store(true, std::memory_order_relaxed);
+  observer.join();
+
+  ledger.check_exactly_once(c);
+  check_per_key_fifo(c, log, producers, per);
+  require(batcher.submitted() == accepted_count.load(), c,
+          "submitted() != accepted submit() calls after quiescence");
+  require(batcher.callbacks() <= batcher.submitted(), c, "callbacks() > submitted() at rest");
+}
+
+// --------------------------------------------------------------------------
+// AsyncLogger (both modes): written + dropped == submitted once quiesced;
+// recent() is safe to call concurrently with producers and writers.
+// --------------------------------------------------------------------------
+void stress_logger(const Ctx& c, Rng& rng, unsigned scale) {
+  AsyncLogger::Config cfg;
+  cfg.nonblocking = rng.chance(0.5);
+  cfg.writer_threads = unsigned(rng.uniform_int(1, 3));
+  cfg.queue_capacity = rng.chance(0.5) ? 32 : 4096;
+  cfg.use_log_cache = cfg.nonblocking && rng.chance(0.5);
+  cfg.ring_entries = 256;
+  const unsigned producers = unsigned(rng.uniform_int(1, 4));
+  const unsigned per = 300 * scale;
+  const bool early_shutdown = rng.chance(0.5);
+  const unsigned shutdown_after_us = unsigned(rng.uniform_int(0, 1200));
+  static const char* kTemplates[] = {"op dispatched pg", "journal commit seq",
+                                     "filestore apply txn", "kv batch flush"};
+
+  AsyncLogger logger(cfg);
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < producers; p++) {
+    threads.emplace_back([&, p] {
+      for (unsigned i = 0; i < per; i++) {
+        logger.log(kTemplates[(p + i) % 4], std::uint64_t(p) * per + i);
+      }
+    });
+  }
+  std::thread observer([&] {
+    for (int i = 0; i < 50; i++) {
+      (void)logger.recent(8);
+      std::this_thread::yield();
+    }
+  });
+  std::thread closer([&] {
+    if (early_shutdown) {
+      std::this_thread::sleep_for(std::chrono::microseconds(shutdown_after_us));
+      logger.shutdown();
+    }
+  });
+  for (auto& t : threads) t.join();
+  closer.join();
+  observer.join();
+  logger.shutdown();
+
+  require(logger.submitted() == std::uint64_t(producers) * per, c,
+          "submitted() != total log() calls");
+  require(logger.written() + logger.dropped() == logger.submitted(), c,
+          "written + dropped != submitted (an entry vanished)");
+}
+
+// --------------------------------------------------------------------------
+// Throttle: weighted holds never exceed the largest capacity ever set;
+// shutdown releases waiters; all units returned at quiescence.
+// --------------------------------------------------------------------------
+void stress_throttle(const Ctx& c, Rng& rng, unsigned scale) {
+  const std::uint64_t cap = rng.uniform_int(2, 8);
+  const bool tune = rng.chance(0.5);
+  const std::uint64_t max_cap = tune ? cap * 2 : cap;
+  const unsigned workers = unsigned(rng.uniform_int(2, 5));
+  const unsigned per = 120 * scale;
+  const bool early_shutdown = rng.chance(0.3);
+
+  Throttle throttle(cap);
+  std::atomic<std::uint64_t> held{0};
+  std::atomic<std::uint64_t> completed{0};
+
+  std::vector<Rng> wrng;
+  for (unsigned w = 0; w < workers; w++) wrng.push_back(rng.fork());
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < workers; w++) {
+    threads.emplace_back([&, w] {
+      Rng& r = wrng[w];
+      for (unsigned i = 0; i < per; i++) {
+        // Weights stay within the SMALLEST capacity in play so a shrink
+        // can never wedge a waiter forever.
+        const std::uint64_t n = r.uniform_int(1, cap);
+        if (!throttle.acquire(n)) return;  // shut down
+        const std::uint64_t now = held.fetch_add(n, std::memory_order_relaxed) + n;
+        require(now <= max_cap, c, "weighted holds exceed max capacity");
+        std::this_thread::yield();
+        held.fetch_sub(n, std::memory_order_relaxed);
+        throttle.release(n);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread tuner([&] {
+    if (tune) {
+      for (int i = 0; i < 20; i++) {
+        throttle.set_capacity(i % 2 == 0 ? max_cap : cap);
+        std::this_thread::yield();
+      }
+    }
+    if (early_shutdown) {
+      // Let some traffic through first, then cut everyone off mid-flight.
+      const std::uint64_t target = std::uint64_t(workers) * per / 4;
+      while (completed.load(std::memory_order_relaxed) < target) std::this_thread::yield();
+      throttle.shutdown();
+    }
+  });
+  for (auto& t : threads) t.join();
+  tuner.join();
+  require(throttle.in_use() == 0, c, "units leaked: in_use() != 0 at quiescence");
+}
+
+// --------------------------------------------------------------------------
+// Arena: concurrent alloc/free with cross-thread frees through an
+// MpmcQueue hand-off; redzone bytes must round-trip intact.
+// --------------------------------------------------------------------------
+void stress_arena(const Ctx& c, Rng& rng, unsigned scale) {
+  const unsigned workers = unsigned(rng.uniform_int(2, 4));
+  const unsigned per = 1500 * scale;
+
+  Arena arena;
+  MpmcQueue<std::pair<void*, std::size_t>> handoff(512);
+  std::thread freer([&] {
+    while (auto p = handoff.pop()) {
+      auto* bytes = static_cast<unsigned char*>(p->first);
+      require(bytes[0] == 0x5A && bytes[p->second - 1] == 0xA5, c,
+              "cross-thread freed block corrupted");
+      arena.deallocate(p->first, p->second);
+    }
+  });
+  std::vector<Rng> wrng;
+  for (unsigned w = 0; w < workers; w++) wrng.push_back(rng.fork());
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < workers; w++) {
+    threads.emplace_back([&, w] {
+      Rng& r = wrng[w];
+      std::vector<std::pair<unsigned char*, std::size_t>> live;
+      for (unsigned i = 0; i < per; i++) {
+        const std::size_t sz =
+            r.chance(0.02) ? 4096 + r.uniform_int(1, 8192) : 2 + r.uniform_int(0, 598);
+        auto* p = static_cast<unsigned char*>(arena.allocate(sz));
+        p[0] = 0x5A;
+        p[sz - 1] = 0xA5;
+        live.emplace_back(p, sz);
+        if (live.size() > 24) {
+          auto [q, qsz] = live.front();
+          live.erase(live.begin());
+          require(q[0] == 0x5A && q[qsz - 1] == 0xA5, c, "locally freed block corrupted");
+          if (r.chance(0.3)) {
+            handoff.push({q, qsz});
+          } else {
+            arena.deallocate(q, qsz);
+          }
+        }
+      }
+      for (auto [p, sz] : live) arena.deallocate(p, sz);
+    });
+  }
+  for (auto& t : threads) t.join();
+  handoff.close();
+  freer.join();
+}
+
+}  // namespace
+
+StressOptions parse_stress_args(int argc, char** argv, StressOptions defaults) {
+  StressOptions opt = defaults;
+  for (int i = 1; i < argc; i++) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--seed" && has_value) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--iters" && has_value) {
+      opt.iterations = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--scale" && has_value) {
+      opt.scale = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--iters N] [--scale N] [--verbose]\n"
+                   "unknown argument: %s\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  if (opt.scale == 0) opt.scale = 1;
+  return opt;
+}
+
+int run_stress(const StressOptions& opt) {
+  for (unsigned iter = 0; iter < opt.iterations; iter++) {
+    const std::uint64_t seed = opt.seed + iter;
+    Rng rng(seed);
+    struct Scenario {
+      const char* name;
+      void (*fn)(const Ctx&, Rng&, unsigned);
+    };
+    static constexpr Scenario kScenarios[] = {
+        {"mpmc", stress_mpmc},
+        {"spsc", stress_spsc},
+        {"opqueue.community", [](const Ctx& c, Rng& r, unsigned s) { stress_opqueue(c, r, s, false); }},
+        {"opqueue.pending", [](const Ctx& c, Rng& r, unsigned s) { stress_opqueue(c, r, s, true); }},
+        {"batcher", stress_batcher},
+        {"logger", stress_logger},
+        {"throttle", stress_throttle},
+        {"arena", stress_arena},
+    };
+    for (const Scenario& sc : kScenarios) {
+      Ctx ctx{sc.name, seed};
+      Rng scenario_rng = rng.fork();
+      sc.fn(ctx, scenario_rng, opt.scale);
+    }
+    if (opt.verbose && (iter + 1) % 10 == 0) {
+      std::printf("stress_rt: %u/%u iterations ok\n", iter + 1, opt.iterations);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("stress_rt: %u iterations x 8 scenarios OK (seed=%llu scale=%u)\n", opt.iterations,
+               static_cast<unsigned long long>(opt.seed), opt.scale);
+  return 0;
+}
+
+}  // namespace afc::rt

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace afc::rt {
+
+/// Seeded concurrency stress harness for the real-threads primitives
+/// (docs/MODEL.md "Real-threads lifecycle contract"). Each iteration
+/// derives a fresh seed and a randomized fleet shape (producer/consumer/
+/// worker counts, queue capacities, mid-flight close/shutdown points) and
+/// hammers every src/rt/ structure while checking the contract invariants:
+///
+///  * exactly-once delivery — every accepted item is seen exactly once,
+///    nothing unaccepted is ever seen;
+///  * close() stops intake, pop() drains everything already accepted
+///    (including parked pending-queue items) before reporting empty;
+///  * per-key FIFO per producer through ShardedOpQueue and
+///    CompletionBatcher;
+///  * a key is never claimed by two workers at once (the PG lock);
+///  * counter sanity at every instant: callbacks() <= submitted(),
+///    written() + dropped() == submitted(), weighted throttle holds never
+///    exceed the largest capacity ever set;
+///  * SpscRing strict FIFO at arbitrary (non-power-of-two) capacities;
+///  * Arena cross-thread free round-trips with intact redzone bytes.
+///
+/// Runs single-process with real std::threads; intended to be executed
+/// both native (tests/stress_rt, quick) and under ThreadSanitizer
+/// (scripts/check.sh, AFC_SANITIZE=thread) where the same schedule churn
+/// doubles as a data-race probe.
+struct StressOptions {
+  std::uint64_t seed = 1;
+  unsigned iterations = 25;
+  unsigned scale = 1;  // multiplies per-iteration op counts (soak mode)
+  bool verbose = false;
+};
+
+/// Parse --seed/--iters/--scale/--verbose over `defaults`; exits(2) with a
+/// usage message on unknown arguments.
+StressOptions parse_stress_args(int argc, char** argv, StressOptions defaults);
+
+/// Returns 0 on success; prints the failing scenario + seed and aborts on
+/// the first invariant violation (so a TSan run halts with a usable trace).
+int run_stress(const StressOptions& opt);
+
+}  // namespace afc::rt

@@ -22,6 +22,10 @@ class Throttle {
   /// Re-tune capacity at runtime (the paper's SSD re-sizing); growth wakes
   /// waiters immediately.
   void set_capacity(std::uint64_t capacity);
+
+  /// Lifecycle contract (docs/MODEL.md): stops intake — every blocked and
+  /// future acquire() returns false without taking units. Holders of
+  /// already-granted units may (and should) still release() them.
   void shutdown();
 
   std::uint64_t capacity() const;

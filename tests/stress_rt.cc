@@ -1,0 +1,15 @@
+// Quick entry point for the rt concurrency stress harness (the suite
+// itself lives in src/rt/stress.cc; bench/stress_rt is the soak entry).
+// Registered with ctest at a handful of iterations so the tier-1 run stays
+// fast; scripts/check.sh re-runs it at 100+ iterations, native and under
+// ThreadSanitizer.
+
+#include "rt/stress.h"
+
+int main(int argc, char** argv) {
+  afc::rt::StressOptions defaults;
+  defaults.seed = 1;
+  defaults.iterations = 25;
+  defaults.scale = 1;
+  return afc::rt::run_stress(afc::rt::parse_stress_args(argc, argv, defaults));
+}

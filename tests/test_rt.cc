@@ -78,6 +78,26 @@ TEST(SpscRing, OrderAndCapacity) {
   EXPECT_FALSE(r.try_pop().has_value());
 }
 
+TEST(SpscRing, NonPow2CapacityRoundsUp) {
+  // A non-pow2 buffer would break the index mask and overwrite live slots;
+  // the ring must round the request UP and stay FIFO across wraparound.
+  SpscRing<int> r(5);
+  EXPECT_EQ(r.capacity(), 8u);
+  for (int i = 0; i < 8; i++) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(8));
+  for (int i = 0; i < 8; i++) EXPECT_EQ(*r.try_pop(), i);
+  // Wrap the indices many times past the original request.
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(r.try_push(i));
+    ASSERT_EQ(*r.try_pop(), i);
+  }
+  SpscRing<int> r0(0);  // degenerate request still yields a usable ring
+  EXPECT_EQ(r0.capacity(), 1u);
+  EXPECT_TRUE(r0.try_push(42));
+  EXPECT_FALSE(r0.try_push(43));
+  EXPECT_EQ(*r0.try_pop(), 42);
+}
+
 TEST(SpscRing, ConcurrentProducerConsumer) {
   SpscRing<std::uint64_t> r(1024);
   constexpr std::uint64_t kN = 500000;
@@ -212,7 +232,8 @@ TEST(ShardedOpQueue, PendingModeServesOtherKeysPastBusyOne) {
   ShardedOpQueue<int> q(1, /*pending_queue=*/true);
   q.submit(1, 0);
   auto first = q.pop(0);  // key 1 busy
-  q.submit(1, 1);         // parked on pending
+  ASSERT_TRUE(first.has_value());
+  q.submit(1, 1);  // parked on pending
   q.submit(2, 2);
   auto second = q.pop(0);  // must get key 2 immediately
   ASSERT_TRUE(second.has_value());
@@ -226,6 +247,67 @@ TEST(ShardedOpQueue, PendingModeServesOtherKeysPastBusyOne) {
   EXPECT_EQ(third->op, 1);
   q.complete(1);
   q.close();
+}
+
+TEST(ShardedOpQueue, PendingModeCloseDrainsBacklogBehindBusyKey) {
+  // Lifecycle contract: close() stops intake but every accepted op — parked
+  // ones included — must still be handed out before pop() reports drained.
+  ShardedOpQueue<int> q(1, /*pending_queue=*/true);
+  q.submit(1, 0);
+  auto hostage = q.pop(0);  // key 1 busy across the close
+  ASSERT_TRUE(hostage.has_value());
+  q.submit(1, 1);  // parked behind the claim
+  q.submit(1, 2);  // parked behind the claim
+  q.submit(2, 3);  // ready
+  q.close();
+  EXPECT_FALSE(q.submit(3, 99));  // intake stopped
+
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, int>> seen;
+  std::thread worker([&] {
+    while (auto c = q.pop(0)) {
+      {
+        std::lock_guard lk(mu);
+        seen.emplace_back(c->key, c->op);
+      }
+      q.complete(c->key);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.complete(1);  // release the hostage claim: parked ops surface now
+  worker.join();
+
+  ASSERT_EQ(seen.size(), 3u);
+  std::vector<int> key1_ops;
+  for (auto [k, op] : seen) {
+    if (k == 1) key1_ops.push_back(op);
+  }
+  EXPECT_EQ(key1_ops, (std::vector<int>{1, 2}));  // per-key FIFO survived
+}
+
+TEST(ShardedOpQueue, CommunityModeCloseDrainsBacklogBehindBusyKey) {
+  // Community mode: a busy head after close() is waited out, not abandoned —
+  // the whole backlog must drain once the claimer completes.
+  ShardedOpQueue<int> q(1, /*pending_queue=*/false);
+  q.submit(1, 0);
+  auto hostage = q.pop(0);  // key 1 busy, ops below stack behind it
+  ASSERT_TRUE(hostage.has_value());
+  q.submit(1, 1);
+  q.submit(2, 2);
+  q.close();
+  EXPECT_FALSE(q.submit(3, 99));
+
+  std::vector<int> seen;
+  std::thread worker([&] {
+    while (auto c = q.pop(0)) {
+      seen.push_back(c->op);
+      q.complete(c->key);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.complete(1);
+  worker.join();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));  // global FIFO, nothing lost
 }
 
 // ---------------------------------------------------------------------------
@@ -406,6 +488,54 @@ TEST(CompletionBatcher, PerKeyValuesStayOrderedFromOneProducer) {
   batcher.shutdown();
   ASSERT_EQ(seen.size(), 10000u);
   for (int i = 0; i < 10000; i++) ASSERT_EQ(seen[std::size_t(i)], std::uint64_t(i));
+}
+
+TEST(CompletionBatcher, SubmitAfterShutdownRollsBackCounter) {
+  // submitted() is exact: a rejected submit must leave no trace, or the
+  // "callbacks <= submitted" invariant drifts and rest-state accounting
+  // (submitted == callbacks-delivered values) breaks.
+  CompletionBatcher b([](std::uint64_t, const std::vector<std::uint64_t>&) {});
+  EXPECT_TRUE(b.submit(1, 10));
+  b.shutdown();
+  EXPECT_FALSE(b.submit(1, 11));
+  EXPECT_EQ(b.submitted(), 1u);
+  EXPECT_EQ(b.callbacks(), 1u);
+}
+
+TEST(CompletionBatcher, CallbacksNeverExceedSubmittedUnderConcurrency) {
+  // Both from inside the callback (values delivered so far vs submitted())
+  // and from a sampling observer, the counters must never cross: submit
+  // increments BEFORE the record is visible to the worker.
+  std::atomic<CompletionBatcher*> self{nullptr};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<bool> violated{false};
+  CompletionBatcher b([&](std::uint64_t, const std::vector<std::uint64_t>& vals) {
+    const std::uint64_t d = delivered.fetch_add(vals.size()) + vals.size();
+    auto* bp = self.load();
+    if (bp != nullptr && d > bp->submitted()) violated = true;
+  });
+  self = &b;
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load()) {
+      if (b.callbacks() > b.submitted()) violated = true;
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 2; t++) {
+    producers.emplace_back([&b, t] {
+      for (int i = 0; i < 20000; i++) {
+        b.submit(std::uint64_t(t), std::uint64_t(i));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  b.shutdown();
+  stop = true;
+  observer.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(b.submitted(), 40000u);
+  EXPECT_EQ(delivered.load(), 40000u);
 }
 
 // ---------------------------------------------------------------------------
