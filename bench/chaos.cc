@@ -62,22 +62,14 @@ struct RunDigest {
   bool operator==(const RunDigest&) const = default;
 };
 
-/// One soak run: build a fresh cluster, arm `plan` (skipped when
-/// `install == false`), run the workload, then drain the simulation so every
-/// in-flight op, retry and backoff resolves.
-RunDigest run_once(std::uint64_t seed, const fault::FaultPlan& plan, bool install) {
-  core::ClusterConfig cfg = chaos_config();
-  cfg.seed = seed;
-  core::ClusterSim cluster(cfg);
-  if (install) cluster.install_faults(plan);
-
+/// Drive the chaos workload to completion: VMs started directly instead of
+/// via ClusterSim::run() — the sink must outlive the post-deadline drain
+/// (io_loops record their final op while the simulation finishes timeouts,
+/// retries and backfills).
+void drive_workload(core::ClusterSim& cluster, client::RunStats& stats) {
   auto spec = client::WorkloadSpec::rand_write(4096, 4);
   spec.warmup = 100 * kMillisecond;
   spec.runtime = 900 * kMillisecond;
-  // Drive the VMs directly instead of via ClusterSim::run(): the sink must
-  // outlive the post-deadline drain (io_loops record their final op while
-  // the simulation finishes timeouts, retries and backfills).
-  client::RunStats stats;
   stats.window_start = spec.warmup;
   stats.window_end = spec.warmup + spec.runtime;
   for (std::size_t v = 0; v < cluster.vm_count(); v++) {
@@ -85,7 +77,9 @@ RunDigest run_once(std::uint64_t seed, const fault::FaultPlan& plan, bool instal
   }
   cluster.simulation().run_until(stats.window_end);
   cluster.simulation().run();  // drain: timeouts, retries, backfills
+}
 
+RunDigest collect_digest(core::ClusterSim& cluster) {
   RunDigest d;
   d.events = cluster.simulation().executed_events();
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the counters
@@ -122,12 +116,105 @@ RunDigest run_once(std::uint64_t seed, const fault::FaultPlan& plan, bool instal
   }
   mix(d.events);
   d.hash = h;
+  return d;
+}
+
+/// One soak run: build a fresh cluster, arm `plan` (skipped when
+/// `install == false`), run the workload, then drain the simulation so every
+/// in-flight op, retry and backoff resolves.
+RunDigest run_once(std::uint64_t seed, const fault::FaultPlan& plan, bool install) {
+  core::ClusterConfig cfg = chaos_config();
+  cfg.seed = seed;
+  core::ClusterSim cluster(cfg);
+  if (install) cluster.install_faults(plan);
+
+  client::RunStats stats;
+  drive_workload(cluster, stats);
+  RunDigest d = collect_digest(cluster);
 
   // Unpark the worker coroutines so nothing is left allocated at exit
   // (keeps the LeakSanitizer leg of scripts/check.sh clean).
   cluster.close_all();
   cluster.simulation().run();
   return d;
+}
+
+/// The corruption leg's observables, compared across two runs for
+/// determinism on top of the per-run invariants.
+struct CorruptionDigest {
+  RunDigest run;
+  std::uint64_t torn_entries = 0;     // injector: entries lost or torn
+  std::uint64_t replayed = 0;         // records re-applied from local rings
+  std::uint64_t torn_tails = 0;       // replay scans stopped at a torn record
+  std::uint64_t crc_failures = 0;     // replay scans stopped at a flipped record
+  std::uint64_t backfill_skipped = 0; // objects replay made backfill skip
+  std::uint64_t detect_inconsistent = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t verify_inconsistent = 0;
+  std::uint64_t verify_missing = 0;
+  bool scrub_done = false;
+
+  bool operator==(const CorruptionDigest&) const = default;
+};
+
+/// Corruption soak: tear osd 1's journal mid-stall (replay on restart),
+/// tear osd 2's and flip a retained record while it is down (replay stops
+/// at the bad CRC), then flip data extents on osds 2 and 3 after the drain
+/// and let deep scrub find and repair them.
+CorruptionDigest run_corruption(std::uint64_t seed) {
+  core::ClusterConfig cfg = chaos_config();
+  cfg.seed = seed;
+  core::ClusterSim cluster(cfg);
+
+  fault::FaultPlan plan;
+  // Incident A: stall builds a journal backlog on osd 1, the tear kills the
+  // daemon mid-persist, restart replays the surviving prefix.
+  plan.journal_stall(300 * kMillisecond, 1, 60 * kMillisecond);
+  plan.torn_write(330 * kMillisecond, 1);
+  plan.restart(450 * kMillisecond, 1);
+  // Incident B: same tear on osd 2, plus a bit flip in a retained record
+  // while the daemon is down — replay must stop at the bad CRC.
+  plan.journal_stall(600 * kMillisecond, 2, 60 * kMillisecond);
+  plan.torn_write(630 * kMillisecond, 2);
+  plan.bit_flip_journal(700 * kMillisecond, 2);
+  plan.restart(750 * kMillisecond, 2);
+  // Incident C: silent data corruption, injected after every op has
+  // resolved (the events fire during the drain) so nothing overwrites it
+  // before the scrub runs.
+  plan.bit_flip_data(2 * kSecond, 2);
+  plan.bit_flip_data(2 * kSecond, 3);
+  fault::FaultInjector& inj = cluster.install_faults(plan);
+
+  client::RunStats stats;
+  drive_workload(cluster, stats);
+
+  CorruptionDigest c;
+  c.run = collect_digest(cluster);
+  c.torn_entries = inj.counters().get("fault.torn_entries");
+  core::RunResult rr;
+  cluster.collect_osd_stats(rr);
+  c.replayed = rr.journal_records_replayed;
+  c.torn_tails = rr.journal_torn_tails;
+  c.crc_failures = rr.journal_crc_failures;
+  for (std::size_t o = 0; o < cluster.osd_count(); o++) {
+    c.backfill_skipped += cluster.osd(o).counters().get("osd.backfill_skipped");
+  }
+
+  sim::spawn_fn([&cluster, &c]() -> sim::CoTask<void> {
+    auto detect = co_await cluster.deep_scrub(/*repair=*/false);
+    c.detect_inconsistent = detect.inconsistent;
+    auto repair = co_await cluster.deep_scrub(/*repair=*/true);
+    c.repaired = repair.repaired;
+    auto verify = co_await cluster.deep_scrub(/*repair=*/false);
+    c.verify_inconsistent = verify.inconsistent;
+    c.verify_missing = verify.missing;
+    c.scrub_done = true;
+  });
+  cluster.simulation().run();
+
+  cluster.close_all();
+  cluster.simulation().run();
+  return c;
 }
 
 int g_failures = 0;
@@ -148,12 +235,22 @@ void check_invariants(const char* label, const RunDigest& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--leg=<empty|directed|random|corruption>` runs one leg (scripts/check.sh
+  // uses this to give the sanitizer build separate, faster invocations);
+  // no argument runs them all.
+  std::string leg;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--leg=", 0) == 0) leg = arg.substr(6);
+  }
+  const auto runs = [&leg](const char* name) { return leg.empty() || leg == name; };
+
   std::printf("chaos soak: 4 OSDs rep=2 min_size=1, 4 VMs 4K random write, "
               "rep_timeout=40ms client_timeout=250ms\n\n");
 
   // --- zero-impact: empty plan == no injector at all ----------------------
-  {
+  if (runs("empty")) {
     const RunDigest bare = run_once(42, fault::FaultPlan{}, /*install=*/false);
     const RunDigest empty = run_once(42, fault::FaultPlan{}, /*install=*/true);
     std::printf("[empty plan] events=%llu begun=%llu  (bare events=%llu)\n",
@@ -164,7 +261,7 @@ int main() {
   }
 
   // --- a directed plan hitting every fault kind ---------------------------
-  {
+  if (runs("directed")) {
     fault::FaultPlan plan;
     plan.crash_restart(300 * kMillisecond, 1, 200 * kMillisecond);
     plan.ssd_slow(250 * kMillisecond, 2, 8.0, 300 * kMillisecond);
@@ -185,8 +282,44 @@ int main() {
     expect(a == b, "directed plan: same seed must reproduce byte-identical digests");
   }
 
+  // --- corruption: torn journals, flipped records, flipped extents --------
+  if (runs("corruption")) {
+    std::printf("\n[corruption plan]\n");
+    const CorruptionDigest a = run_corruption(42);
+    const CorruptionDigest b = run_corruption(42);
+    std::printf("  torn_entries=%llu replayed=%llu torn_tails=%llu crc_failures=%llu "
+                "backfill_skipped=%llu\n"
+                "  scrub: inconsistent=%llu repaired=%llu after-repair inconsistent=%llu "
+                "missing=%llu\n",
+                (unsigned long long)a.torn_entries, (unsigned long long)a.replayed,
+                (unsigned long long)a.torn_tails, (unsigned long long)a.crc_failures,
+                (unsigned long long)a.backfill_skipped,
+                (unsigned long long)a.detect_inconsistent, (unsigned long long)a.repaired,
+                (unsigned long long)a.verify_inconsistent,
+                (unsigned long long)a.verify_missing);
+    check_invariants("corruption", a.run);
+    // Replay: both tears found queued batches; restarts re-applied the
+    // surviving prefixes from the local rings, so backfill skipped objects
+    // replay had already recovered (it covered strictly less).
+    expect(a.torn_entries > 0, "corruption: tears must hit queued journal entries");
+    expect(a.replayed > 0, "corruption: restart must replay locally durable records");
+    expect(a.torn_tails > 0, "corruption: replay must stop at a torn tail");
+    expect(a.crc_failures > 0, "corruption: replay must stop at the flipped record");
+    expect(a.backfill_skipped > 0,
+           "corruption: replay must let backfill skip recovered objects");
+    // Scrub: the flipped extents are detected, repaired from healthy peers,
+    // and a re-scrub comes back clean.
+    expect(a.scrub_done, "corruption: scrub pass did not finish");
+    expect(a.detect_inconsistent >= 2, "corruption: scrub must detect both bit flips");
+    expect(a.repaired >= a.detect_inconsistent,
+           "corruption: repair must cover every inconsistency");
+    expect(a.verify_inconsistent == 0 && a.verify_missing == 0,
+           "corruption: re-scrub after repair must be clean");
+    expect(a == b, "corruption plan: same seed must reproduce byte-identical digests");
+  }
+
   // --- randomized plans, each run twice for determinism -------------------
-  for (std::uint64_t seed = 1; seed <= 5; seed++) {
+  for (std::uint64_t seed = 1; runs("random") && seed <= 5; seed++) {
     fault::FaultPlan plan = fault::FaultPlan::random(seed, 150 * kMillisecond,
                                                      1000 * kMillisecond, 6, 4);
     std::printf("\n[random plan seed=%llu]\n%s", (unsigned long long)seed,

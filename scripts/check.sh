@@ -38,6 +38,12 @@ echo "=== bench/chaos under ASan+UBSan ==="
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAFC_SANITIZE=ON
 cmake --build "$ASAN_BUILD_DIR" -j "$(nproc)" --target chaos
+# The corruption leg first, on its own: torn-write replay, CRC verification
+# and scrub repair walk raw record bytes, so a memory bug there should fail
+# with a focused label before the full soak runs.
+LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  "$ASAN_BUILD_DIR/bench/chaos" --leg=corruption
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos"

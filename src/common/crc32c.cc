@@ -1,0 +1,30 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace afc {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> kTable = make_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace afc

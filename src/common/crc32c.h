@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace afc {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum RFC 3720 (iSCSI) standardised and that Ceph/RocksDB use
+/// to guard journal/WAL records. Table-driven, byte at a time: this runs
+/// at most a few times per simulated journal record, so simplicity and
+/// verifiability beat throughput here.
+///
+/// `crc` is the running value for incremental use: feed the previous
+/// return value back in to extend a checksum over split buffers.
+/// `crc32c(b, n)` == `crc32c(b + k, n - k, crc32c(b, k))`.
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t crc = 0);
+
+}  // namespace afc

@@ -47,6 +47,8 @@ inline constexpr const char* kFaultInject = "fault.inject";       // a FaultPlan
 inline constexpr const char* kNetLinkDrop = "net.link_drop";      // lossy link ate a message
 inline constexpr const char* kOsdRepRetry = "osd.rep_retry";      // primary resent repops
 inline constexpr const char* kClientRetry = "client.retry";       // client resubmitted an op
+inline constexpr const char* kJournalReplay = "journal.replay";   // restart re-applied a record
+inline constexpr const char* kScrubRepair = "scrub.repair";       // deep scrub repaired a replica
 }  // namespace stage
 
 }  // namespace afc

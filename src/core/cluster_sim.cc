@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/stage_names.h"
+
 namespace afc::core {
 
 namespace {
@@ -186,6 +188,10 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
     r.kv_write_amplification =
         std::max(r.kv_write_amplification, o->omap_db().write_amplification());
     r.kv_stall_slowdowns += o->omap_db().stall_slowdowns();
+    r.journal_records_replayed += o->counters().get("osd.journal.records_replayed");
+    r.journal_torn_tails += o->counters().get("osd.journal.torn_tails");
+    r.journal_crc_failures += o->counters().get("osd.journal.crc_failures");
+    r.scrub_objects_repaired += o->counters().get("osd.scrub_objects_repaired");
     for (unsigned s = 0; s < osd::kStageCount; s++) stage_merged[s].merge(o->stage_delta(s));
     total_merged.merge(o->write_total_hist());
   }
@@ -321,31 +327,45 @@ sim::CoTask<ClusterSim::ScrubReport> ClusterSim::deep_scrub(bool repair) {
     report.pgs_scrubbed++;
     for (const auto& oid : names) {
       report.objects_scrubbed++;
-      // Deep scrub reads every replica's bytes (charged) and compares
-      // fingerprints.
-      const std::uint64_t want = primary.store().object_fingerprint(oid);
-      bool bad = false;
+      // Pick the authoritative copy: the first acting member whose replica
+      // still passes its write-time extent checksums. The primary is not
+      // automatically trusted — its media can rot like anyone else's
+      // (Ceph's repair likewise selects by deep-scrub digest, not rank).
+      osd::Osd* auth = &primary;
       for (auto member : acting) {
         auto& store = osds_[member]->store();
-        const std::uint64_t size = store.object_size(oid);
-        if (!store.object_in_memory(oid)) {
-          report.missing++;
-          bad = true;
-          continue;
-        }
-        co_await store.read(oid, 0, size, /*want_data=*/false);
-        if (store.object_fingerprint(oid) != want) {
-          report.inconsistent++;
-          bad = true;
+        if (store.object_in_memory(oid) && store.verify_object(oid)) {
+          auth = osds_[member].get();
+          break;
         }
       }
-      if (bad && repair) {
-        // Re-push the primary's copy to every replica (Ceph repairs from
-        // the authoritative copy — here, the primary).
-        for (auto member : acting) {
-          if (member == acting[0]) continue;
-          co_await osds_[member]->recover_object(oid, primary.store().export_object(oid));
+      const std::uint64_t want = auth->store().object_fingerprint(oid);
+      // Deep scrub reads every replica's bytes (charged), self-checks its
+      // checksums, and compares fingerprints against the authoritative copy.
+      std::vector<std::uint32_t> bad_members;
+      for (auto member : acting) {
+        auto& store = osds_[member]->store();
+        if (!store.object_in_memory(oid)) {
+          report.missing++;
+          bad_members.push_back(member);
+          continue;
+        }
+        co_await store.read(oid, 0, store.object_size(oid), /*want_data=*/false);
+        if (!store.verify_object(oid) || store.object_fingerprint(oid) != want) {
+          report.inconsistent++;
+          bad_members.push_back(member);
+        }
+      }
+      if (!bad_members.empty() && repair) {
+        for (auto member : bad_members) {
+          if (osds_[member].get() == auth) continue;
+          co_await osds_[member]->recover_object(oid, auth->store().export_object(oid));
           report.repaired++;
+          osds_[member]->counters().add("osd.scrub_objects_repaired");
+          if (auto* tr = trace::Collector::active()) {
+            tr->instant(trace::Span{fs::ObjectIdHash{}(oid) | 1, trace::kFaultTrack},
+                        tr->stage_id(stage::kScrubRepair), sim_.now());
+          }
         }
       }
     }

@@ -91,6 +91,11 @@ struct RunResult {
   double kv_write_amplification = 0.0;
   double max_osd_node_cpu = 0.0;
   std::uint64_t kv_stall_slowdowns = 0;
+  // Integrity layer: journal replay + scrub repair (zero in fault-free runs).
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t journal_torn_tails = 0;
+  std::uint64_t journal_crc_failures = 0;
+  std::uint64_t scrub_objects_repaired = 0;
   /// Mean per-stage write-path latency (Fig. 3), ms, index = osd::Stage.
   std::array<double, osd::kStageCount> stage_ms{};
   double write_path_total_ms = 0.0;

@@ -1,7 +1,9 @@
 #include "fault/injector.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/rng.h"
 #include "common/stage_names.h"
 #include "core/trace.h"
 
@@ -76,6 +78,22 @@ void FaultInjector::apply(std::size_t idx) {
     case FaultKind::kJournalStall:
       osds_[e.osd]->journal().stall_until(sim_.now() + e.duration);
       break;
+    case FaultKind::kBitFlip: {
+      // Seeded per event so two flips in one plan pick independent victims.
+      const std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ull * (idx + 1));
+      const bool hit = e.media == 1 ? osds_[e.osd]->journal().corrupt_record(s)
+                                    : corrupt_scrubbed_object(e.osd, s);
+      if (!hit) counters_.add("fault.bit_flip_noop");
+      break;
+    }
+    case FaultKind::kTornWrite: {
+      const std::size_t torn = osds_[e.osd]->journal().inject_torn_write(
+          seed_ ^ (0x9e3779b97f4a7c15ull * (idx + 1)));
+      if (torn > 0) counters_.add("fault.torn_entries", torn);
+      // The tear is the last thing the daemon does: it dies mid-persist.
+      do_crash(e.osd);
+      break;
+    }
   }
 }
 
@@ -95,6 +113,30 @@ void FaultInjector::clear(std::size_t idx) {
     default:
       break;
   }
+}
+
+bool FaultInjector::corrupt_scrubbed_object(std::uint32_t osd, std::uint64_t seed) {
+  // Flip a byte in a replica the scrub will actually audit: an object of a
+  // PG this OSD currently serves. Stale copies left behind by old backfills
+  // are resident too, but no acting set references them, so corrupting one
+  // would be invisible to every detector the model has.
+  std::vector<fs::ObjectId> oids;
+  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    if (std::find(acting.begin(), acting.end(), osd) == acting.end()) continue;
+    auto in_pg = osds_[osd]->store().objects_in_pg(pg);
+    oids.insert(oids.end(), in_pg.begin(), in_pg.end());
+  }
+  if (oids.empty()) return false;
+  std::sort(oids.begin(), oids.end());  // seeded pick independent of hash order
+  Rng rng(seed ^ 0xB17F11Dull);
+  // Linear probe from a seeded start: corrupt_object() refuses objects with
+  // no resident extent data.
+  const std::size_t start = rng.uniform_int(0, oids.size() - 1);
+  for (std::size_t k = 0; k < oids.size(); k++) {
+    if (osds_[osd]->store().corrupt_object(oids[(start + k) % oids.size()])) return true;
+  }
+  return false;
 }
 
 void FaultInjector::set_link_fault(std::uint32_t osd, std::uint32_t peer,
@@ -126,6 +168,7 @@ void FaultInjector::do_crash(std::uint32_t osd) {
   std::vector<std::vector<std::uint32_t>> old_acting(cmap_.pool().pg_num);
   for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
   osds_[osd]->messenger().set_blackhole(true);
+  osds_[osd]->on_crash();
   cmap_.crush().set_up(osd, false);
   cmap_.bump_epoch();
   retarget_pgs(old_acting);
@@ -133,12 +176,22 @@ void FaultInjector::do_crash(std::uint32_t osd) {
 
 void FaultInjector::do_restart(std::uint32_t osd) {
   if (cmap_.crush().osds()[osd].up) return;  // never crashed / already back
-  std::vector<std::vector<std::uint32_t>> old_acting(cmap_.pool().pg_num);
-  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
-  osds_[osd]->messenger().set_blackhole(false);
-  cmap_.crush().set_up(osd, true);
-  cmap_.bump_epoch();
-  retarget_pgs(old_acting);
+  sim::spawn_fn([this, osd]() -> sim::CoTask<void> {
+    // Journal replay runs to completion while the daemon is still down
+    // (marked out, blackholed): locally durable writes come back from the
+    // ring before any client op or backfill push can land, so a replayed
+    // record can never clobber data written during the downtime — and
+    // backfill then covers strictly less.
+    co_await osds_[osd]->on_restart();
+    if (cmap_.crush().osds()[osd].up) co_return;  // raced with another restart
+    std::vector<std::vector<std::uint32_t>> old_acting(cmap_.pool().pg_num);
+    for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++)
+      old_acting[pg] = cmap_.acting(pg);
+    osds_[osd]->messenger().set_blackhole(false);
+    cmap_.crush().set_up(osd, true);
+    cmap_.bump_epoch();
+    retarget_pgs(old_acting);
+  });
 }
 
 void FaultInjector::retarget_pgs(const std::vector<std::vector<std::uint32_t>>& old_acting) {

@@ -48,6 +48,9 @@ class FaultInjector {
   void clear(std::size_t idx);
   void do_crash(std::uint32_t osd);
   void do_restart(std::uint32_t osd);
+  /// kBitFlip on data media: flip one byte of a seeded-random object in a
+  /// PG the OSD is currently acting for (so a scrub can find the damage).
+  bool corrupt_scrubbed_object(std::uint32_t osd, std::uint64_t seed);
   /// Apply `f` to both directions of every connection matching (osd, peer);
   /// peer == kAllPeers matches every link touching `osd`.
   void set_link_fault(std::uint32_t osd, std::uint32_t peer, const net::Connection::Fault& f);

@@ -15,6 +15,8 @@ const char* kind_name(FaultKind k) {
     case FaultKind::kLinkDelay: return "link_delay";
     case FaultKind::kLinkPartition: return "link_partition";
     case FaultKind::kJournalStall: return "journal_stall";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kTornWrite: return "torn_write";
   }
   return "?";
 }
@@ -102,6 +104,41 @@ FaultPlan& FaultPlan::journal_stall(Time at, std::uint32_t osd, Time duration) {
   return *this;
 }
 
+FaultPlan& FaultPlan::bit_flip_data(Time at, std::uint32_t osd) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBitFlip;
+  e.osd = osd;
+  e.media = 0;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::bit_flip_journal(Time at, std::uint32_t osd) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBitFlip;
+  e.osd = osd;
+  e.media = 1;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_write(Time at, std::uint32_t osd) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kTornWrite;
+  e.osd = osd;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::torn_write_restart(Time at, std::uint32_t osd, Time downtime) {
+  torn_write(at, osd);
+  restart(at + downtime, osd);
+  return *this;
+}
+
 FaultPlan FaultPlan::random(std::uint64_t seed, Time warmup, Time horizon, unsigned n_events,
                             std::uint32_t osd_count) {
   FaultPlan plan;
@@ -111,7 +148,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, Time warmup, Time horizon, unsig
     const Time at = warmup + Time(rng.uniform() * double(span) * 0.8);
     const std::uint32_t osd = std::uint32_t(rng.uniform_int(0, osd_count - 1));
     const Time dur = Time((0.05 + 0.15 * rng.uniform()) * double(span));
-    switch (rng.uniform_int(0, 4)) {
+    switch (rng.uniform_int(0, 6)) {
       case 0:
         // Crash always paired with a restart inside the horizon: the soak
         // verifies recovery, not permanent shrinkage.
@@ -135,6 +172,18 @@ FaultPlan FaultPlan::random(std::uint64_t seed, Time warmup, Time horizon, unsig
       case 4:
         plan.journal_stall(at, osd, dur / 4);
         break;
+      case 5:
+        if (rng.uniform_int(0, 1) == 0) {
+          plan.bit_flip_data(at, osd);
+        } else {
+          plan.bit_flip_journal(at, osd);
+        }
+        break;
+      case 6:
+        // Like crash_restart: always paired with a restart inside the
+        // horizon so replay + backfill get to heal what the tear lost.
+        plan.torn_write_restart(at, osd, dur);
+        break;
     }
   }
   return plan;
@@ -144,6 +193,13 @@ std::string FaultPlan::describe() const {
   std::string out;
   char line[160];
   for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kBitFlip) {
+      std::snprintf(line, sizeof line, "  t=%9.3fms %-14s osd=%u media=%s\n",
+                    double(e.at) / double(kMillisecond), kind_name(e.kind), e.osd,
+                    e.media == 1 ? "journal" : "data");
+      out += line;
+      continue;
+    }
     std::snprintf(line, sizeof line,
                   "  t=%9.3fms %-14s osd=%u peer=%d factor=%.2f p=%.2f add=%.3fms dur=%.3fms\n",
                   double(e.at) / double(kMillisecond), kind_name(e.kind), e.osd,

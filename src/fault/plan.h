@@ -8,9 +8,11 @@
 
 namespace afc::fault {
 
-/// The seven injectable fault kinds. Each is something the paper's testbed
+/// The nine injectable fault kinds. Each is something the paper's testbed
 /// can suffer in production: daemon death, flash wear-out outliers, flaky
-/// or partitioned cluster links, and journal-device hiccups.
+/// or partitioned cluster links, journal-device hiccups, and the media
+/// corruption classes (bit rot, torn writes) the integrity layer exists
+/// to catch.
 enum class FaultKind {
   kOsdCrash,       // daemon dies: blackholed + marked down (CRUSH re-targets)
   kOsdRestart,     // daemon returns: un-blackholed, marked up, backfilled
@@ -19,6 +21,8 @@ enum class FaultKind {
   kLinkDelay,      // links touching (osd, peer) gain `added_ns` propagation
   kLinkPartition,  // links touching (osd, peer) deliver nothing
   kJournalStall,   // the OSD's journal writer freezes for `duration`
+  kBitFlip,        // flip a byte in a journal record (`media`=1) or data extent (0)
+  kTornWrite,      // next journal batch persists only a prefix, then the daemon dies
 };
 
 const char* kind_name(FaultKind k);
@@ -35,6 +39,7 @@ struct FaultEvent {
   double p = 0.0;          // kLinkDrop: per-message drop probability
   Time added_ns = 0;       // kLinkDelay: extra propagation latency
   Time duration = 0;       // kSsdSlow / kLink* / kJournalStall: auto-clear after this
+  std::uint32_t media = 0; // kBitFlip: 0 = data extent, 1 = journal record
 };
 
 inline constexpr std::uint32_t kAllPeers = ~std::uint32_t(0);
@@ -59,6 +64,15 @@ struct FaultPlan {
                         Time duration);
   FaultPlan& link_partition(Time at, std::uint32_t osd, std::uint32_t peer, Time duration);
   FaultPlan& journal_stall(Time at, std::uint32_t osd, Time duration);
+  /// Flip one byte of a seeded-random data extent on `osd` at `at`.
+  FaultPlan& bit_flip_data(Time at, std::uint32_t osd);
+  /// Flip one byte of a seeded-random retained journal record on `osd`.
+  FaultPlan& bit_flip_journal(Time at, std::uint32_t osd);
+  /// Tear the journal batch queued at `at` (prefix persists) and crash the
+  /// daemon; pair with restart() to exercise replay.
+  FaultPlan& torn_write(Time at, std::uint32_t osd);
+  /// torn_write at `at`, restart `downtime` later.
+  FaultPlan& torn_write_restart(Time at, std::uint32_t osd, Time downtime);
 
   /// Randomized soak plan: `n_events` faults drawn uniformly over kinds and
   /// targets in (warmup, horizon), every crash paired with a restart so the

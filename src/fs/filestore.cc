@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
 #include "common/stage_names.h"
 
 namespace afc::fs {
@@ -87,7 +88,7 @@ FileStore::Object& FileStore::materialize_object(const ObjectId& oid) {
     // metadata from before the measurement window.
     obj.size = cfg_.populated_object_size;
     obj.extents.emplace(
-        0, Extent{Payload::pattern(cfg_.populated_object_size, populated_seed(oid))});
+        0, make_extent(Payload::pattern(cfg_.populated_object_size, populated_seed(oid))));
     obj.xattrs.emplace("_", kv::Value::virt(std::uint32_t(cfg_.populated_xattr_bytes)));
     obj.xattrs.emplace("snapset", kv::Value::virt(31));
   }
@@ -114,8 +115,8 @@ void FileStore::write_extent(Object& obj, std::uint64_t off, Payload data) {
       // extends past our end, keep its tail too.
       Extent tail{};
       const bool has_tail = pend > end;
-      if (has_tail) tail.data = prev->second.data.slice(end - pstart, pend - end);
-      prev->second.data = prev->second.data.slice(0, off - pstart);
+      if (has_tail) tail = make_extent(prev->second.data.slice(end - pstart, pend - end));
+      prev->second = make_extent(prev->second.data.slice(0, off - pstart));
       if (prev->second.data.size() == 0) obj.extents.erase(prev);
       if (has_tail) obj.extents.emplace(end, std::move(tail));
     }
@@ -127,13 +128,13 @@ void FileStore::write_extent(Object& obj, std::uint64_t off, Payload data) {
     if (eend <= end) {
       it = obj.extents.erase(it);
     } else {
-      Extent tail{it->second.data.slice(end - estart, eend - end)};
+      Extent tail = make_extent(it->second.data.slice(end - estart, eend - end));
       obj.extents.erase(it);
       obj.extents.emplace(end, std::move(tail));
       break;
     }
   }
-  obj.extents.emplace(off, Extent{std::move(data)});
+  obj.extents.emplace(off, make_extent(std::move(data)));
   if (end > obj.size) obj.size = end;
 }
 
@@ -324,7 +325,32 @@ bool FileStore::corrupt_object(const ObjectId& oid) {
   auto bytes = ext.data.materialize();
   if (bytes.empty()) return false;
   bytes[bytes.size() / 2] ^= 0x5a;
+  // Bypasses make_extent on purpose: the recorded csum goes stale, exactly
+  // like media rot under a checksum written at write time.
   ext.data = Payload::bytes(std::move(bytes));
+  return true;
+}
+
+std::optional<ObjectId> FileStore::corrupt_some_object(std::uint64_t seed) {
+  std::vector<ObjectId> oids;
+  oids.reserve(objects_.size());
+  for (const auto& [oid, obj] : objects_) {
+    if (!obj.extents.empty()) oids.push_back(oid);
+  }
+  if (oids.empty()) return std::nullopt;
+  std::sort(oids.begin(), oids.end());  // seeded pick independent of hash order
+  Rng rng(seed ^ 0xB17F11Dull);
+  ObjectId victim = oids[rng.uniform_int(0, oids.size() - 1)];
+  if (!corrupt_object(victim)) return std::nullopt;
+  return victim;
+}
+
+bool FileStore::verify_object(const ObjectId& oid) const {
+  const Object* obj = find_object(oid);
+  if (obj == nullptr) return true;
+  for (const auto& [off, ext] : obj->extents) {
+    if (ext.data.fingerprint() != ext.csum) return false;
+  }
   return true;
 }
 

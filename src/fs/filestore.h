@@ -96,12 +96,25 @@ class FileStore {
     std::uint64_t size = 0;
   };
   ObjectExport export_object(const ObjectId& oid) const;
+  /// Drop an object's in-memory state (recovery: the importer replaces the
+  /// whole object so stale extents the source lacks cannot survive a
+  /// repair). No simulated cost — the recovery caller charges the I/O.
+  void remove_object(const ObjectId& oid) { objects_.erase(oid); }
   /// Content fingerprint over the object's extents + size (scrub).
   std::uint64_t object_fingerprint(const ObjectId& oid) const;
   /// FAILURE INJECTION (tests): silently flip one byte of the object's
   /// first extent, as latent media corruption would. Returns false if the
   /// object has no data.
   bool corrupt_object(const ObjectId& oid);
+  /// FAILURE INJECTION (kBitFlip on data media): corrupt_object() on a
+  /// seeded-random resident object. Returns the victim, or nullopt when the
+  /// store holds no corruptible object.
+  std::optional<ObjectId> corrupt_some_object(std::uint64_t seed);
+  /// Deep-scrub self-check: every extent's content still matches the
+  /// checksum recorded when it was written. True for absent objects
+  /// (nothing to contradict). No simulated cost — the scrub caller charges
+  /// the device reads.
+  bool verify_object(const ObjectId& oid) const;
 
   kv::Db& omap() { return omap_; }
   PageCache& page_cache() { return cache_; }
@@ -121,8 +134,15 @@ class FileStore {
 
  private:
   struct Extent {
-    Payload data;  // length == extent length
+    Payload data;            // length == extent length
+    std::uint64_t csum = 0;  // data.fingerprint() recorded at write time
   };
+  /// Every legitimate write goes through here so the checksum always
+  /// matches; corruption paths bypass it, leaving the csum stale.
+  static Extent make_extent(Payload data) {
+    const std::uint64_t c = data.fingerprint();
+    return Extent{std::move(data), c};
+  }
   struct Object {
     std::map<std::uint64_t, Extent> extents;  // by offset, non-overlapping
     std::map<std::string, kv::Value> xattrs;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,7 +64,21 @@ class Transaction {
   bool empty() const { return ops_.empty(); }
 
   /// Encoded size as journal payload (headers + data + metadata payloads).
+  /// This is the *simulated* wire size used for device/throttle accounting;
+  /// encode() below produces a separate compact host-side image.
   std::uint64_t encoded_bytes() const;
+
+  /// Serialize to a self-contained byte image the journal can checksum,
+  /// retain in its ring and hand back at replay. Virtual payloads encode as
+  /// (len, seed, stream_off) — no materialization — so the image stays tiny
+  /// regardless of the simulated data size; real payloads encode their
+  /// bytes. decode(encode()) reproduces a transaction whose apply writes
+  /// identical content.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Inverse of encode(). Returns nullopt on any truncated, overlong or
+  /// malformed image (replay treats that as a corrupt record).
+  static std::optional<Transaction> decode(const std::uint8_t* data, std::size_t len);
 
   /// Trace attribution for the op this transaction encodes (invalid when
   /// tracing is off); the filestore and KV layers charge their spans to it.

@@ -379,7 +379,9 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
 }
 
 sim::CoTask<void> Osd::journal_path(OpRef op) {
-  co_await journal_.write_entry(op->journal_bytes, op->span);
+  const std::uint64_t seq =
+      co_await journal_.write_entry(op->journal_bytes, op->txn.encode(), op->span);
+  if (seq == 0) co_return;  // journal closing: entry rejected, not committed
   throttles_.journal_ops.release(1);
   op->stamp(kStJournaled, sim_.now());
   co_await dlog_.log(cfg_.log_entries_journal);
@@ -390,6 +392,7 @@ sim::CoTask<void> Osd::journal_path(OpRef op) {
   ai.journal_bytes = op->journal_bytes;
   ai.op = op;
   ai.oid = op->msg->oid;
+  ai.seq = seq;
   apply_q_.try_push(std::move(ai));
 
   if (profile_.dedicated_completion) {
@@ -442,7 +445,8 @@ sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
                                             net::Connection* conn, fs::Transaction txn,
                                             std::uint64_t bytes) {
   const trace::Span rep_span = txn.trace;
-  co_await journal_.write_entry(bytes, rep_span);
+  const std::uint64_t seq = co_await journal_.write_entry(bytes, txn.encode(), rep_span);
+  if (seq == 0) co_return;  // journal closing: entry rejected, not committed
   throttles_.journal_ops.release(1);
   co_await dlog_.log(cfg_.log_entries_journal);
 
@@ -450,6 +454,7 @@ sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
   ai.txn = std::move(txn);
   ai.journal_bytes = bytes;
   ai.oid = rep->oid;
+  ai.seq = seq;
   apply_q_.try_push(std::move(ai));
 
   if (profile_.dedicated_completion) {
@@ -729,7 +734,13 @@ sim::CoTask<void> Osd::apply_loop() {
 
 sim::CoTask<void> Osd::do_apply(ApplyItem item) {
   co_await store_.apply_transaction(item.txn, profile_.light_transactions);
-  journal_.release(item.journal_bytes);
+  if (item.seq != 0) {
+    // Retire the journal record: same bytes freed at the same point as the
+    // raw release below, plus the retained ring image is dropped.
+    journal_.mark_applied(item.seq);
+  } else {
+    journal_.release(item.journal_bytes);
+  }
   throttles_.filestore_ops.release(1);
   throttles_.filestore_bytes.release(item.journal_bytes);
   note_apply_done(item.oid);
@@ -817,6 +828,14 @@ void Osd::deliver_ack(OpRef op) {
   // client asked for ordered acks, hold an ack until all earlier ops from
   // that client (at this OSD) have been acked.
   auto& st = ack_state_[op->msg->client_id];
+  if (st.outstanding.find(op->msg->op_id) == st.outstanding.end()) {
+    // Not in the ledger: a zombie completing after a crash wiped this
+    // daemon's RAM. Reply directly (the client discards stale replies)
+    // instead of parking it in `held`, where it would wedge every
+    // post-restart ack behind an op id that will never reach the head.
+    send_reply_message(op);
+    return;
+  }
   st.held.emplace(op->msg->op_id, op);
   while (!st.held.empty() && !st.outstanding.empty() &&
          st.held.begin()->first == *st.outstanding.begin()) {
@@ -890,17 +909,41 @@ sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
   std::uint64_t pushed = 0;
   Pg* src_pg = find_pg(pgid);
   for (const auto& oid : store_.objects_in_pg(pgid)) {
-    auto data = store_.export_object(oid);
-    std::uint64_t bytes = 0;
-    for (const auto& [off, payload] : data.extents) bytes += payload.size();
-    // Source read, wire transfer, then installation at the target.
-    if (bytes > 0) {
-      co_await store_.read(oid, 0, data.size, /*want_data=*/false);
-      co_await node_.nic_transmit(bytes + 512);
-      co_await sim::delay(sim_, 60 * kMicrosecond, "osd.push_hop");
+    // Delta backfill: journal replay (or an earlier push) may already have
+    // restored this object at the target — skip identical content. After a
+    // push, re-check and re-push: a client write that applied at the target
+    // mid-copy is wiped by the snapshot install while the source keeps it,
+    // so one pass can leave the replica stale under live traffic.
+    unsigned attempts = 0;
+    while (attempts < 4) {
+      // The export must reflect every write this source has admitted for
+      // the object: under backlog the filestore lags the journal by
+      // hundreds of ms, and an export taken in that window would "repair"
+      // an up-to-date replica backwards (the replica applied those writes
+      // already; the snapshot install erases them, and the source's late
+      // apply then diverges the copies for good).
+      co_await wait_object_readable(oid);
+      if (target.store().object_in_memory(oid) &&
+          target.store().object_fingerprint(oid) == store_.object_fingerprint(oid)) {
+        break;
+      }
+      auto data = store_.export_object(oid);
+      std::uint64_t bytes = 0;
+      for (const auto& [off, payload] : data.extents) bytes += payload.size();
+      // Source read, wire transfer, then installation at the target.
+      if (bytes > 0) {
+        co_await store_.read(oid, 0, data.size, /*want_data=*/false);
+        co_await node_.nic_transmit(bytes + 512);
+        co_await sim::delay(sim_, 60 * kMicrosecond, "osd.push_hop");
+      }
+      co_await target.recover_object(oid, std::move(data));
+      attempts++;
     }
-    co_await target.recover_object(oid, std::move(data));
-    pushed++;
+    if (attempts == 0) {
+      counters_.add("osd.backfill_skipped");
+    } else {
+      pushed++;
+    }
   }
   // Sync the version stream so the target can continue the PG log.
   if (src_pg != nullptr) {
@@ -911,6 +954,10 @@ sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
 
 sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
                                       fs::FileStore::ObjectExport data) {
+  // Replace, don't merge: scrub compares whole-object fingerprints, so the
+  // recovered replica must reproduce the source's exact extent layout —
+  // stale extents in ranges the source never wrote may not survive.
+  store_.remove_object(oid);
   fs::Transaction txn;
   for (auto& [off, payload] : data.extents) txn.write(oid, off, std::move(payload));
   if (!data.xattrs.empty()) txn.setattrs(oid, std::move(data.xattrs));
@@ -919,6 +966,47 @@ sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
   meta.exists = true;
   meta.size = data.size;
   meta_cache_.insert(oid, meta);
+}
+
+void Osd::on_crash() {
+  inflight_.clear();
+  ack_state_.clear();
+}
+
+sim::CoTask<void> Osd::on_restart() {
+  auto replay = journal_.restart();
+  if (replay.torn_tails > 0) counters_.add("osd.journal.torn_tails", replay.torn_tails);
+  if (replay.crc_failures > 0)
+    counters_.add("osd.journal.crc_failures", replay.crc_failures);
+  if (replay.truncated > 0)
+    counters_.add("osd.journal.replay_truncated", replay.truncated);
+  // Replay completes before the caller marks this OSD up: no client op or
+  // backfill push may land while possibly-stale records re-apply, or a
+  // replayed write could clobber data written during the downtime.
+  if (!replay.records.empty()) co_await replay_records(std::move(replay.records));
+}
+
+sim::CoTask<void> Osd::replay_records(std::vector<fs::Journal::ReplayedRecord> records) {
+  for (auto& rec : records) {
+    auto tx = fs::Transaction::decode(rec.payload.data(), rec.payload.size());
+    if (tx.has_value()) {
+      // Re-apply idempotently: re-writing the same extents/omap keys is
+      // content-idempotent, so racing a zombie apply of the same record is
+      // harmless. Sequencing against new client ops is the dedup-by-seq
+      // contract — each record applies at most once from here.
+      co_await store_.apply_transaction(*tx, profile_.light_transactions);
+      counters_.add("osd.journal.records_replayed");
+      if (auto* tr = trace::Collector::active(); tr != nullptr) {
+        tr->instant(trace::Span{rec.seq, trace::kFaultTrack},
+                    tr->stage_id(stage::kJournalReplay), sim_.now());
+      }
+    } else {
+      // CRC-clean but undecodable should be impossible; retire it so the
+      // ring cannot wedge on it either way.
+      counters_.add("osd.journal.replay_undecodable");
+    }
+    journal_.mark_applied(rec.seq);
+  }
 }
 
 // ---------------------------------------------------------------------------

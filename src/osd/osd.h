@@ -113,6 +113,19 @@ class Osd : public net::Receiver {
   sim::CoTask<std::uint64_t> push_pg(std::uint32_t pgid, Osd& target);
   /// Install one recovered object (charged as a light apply).
   sim::CoTask<void> recover_object(const fs::ObjectId& oid, fs::FileStore::ObjectExport data);
+  /// The daemon died (fault injection): its RAM — the op ledger and the
+  /// ordered-ack bookkeeping — is gone. Journal and filestore state
+  /// survive on media; coroutines already in flight keep running as
+  /// zombies whose output is blackholed.
+  void on_crash();
+  /// The daemon came back: replay the journal ring from the last
+  /// filestore-applied sequence (CRC-verified, tail-truncated) so locally
+  /// durable writes recover without peer traffic. Called before backfill
+  /// re-targets the cluster; backfill then covers only what replay could
+  /// not. Completes only when every surviving record has re-applied: the
+  /// caller must not mark the OSD up (admit client ops or backfill pushes)
+  /// while possibly-stale records are still applying.
+  sim::CoTask<void> on_restart();
 
   /// Close all internal queues so worker coroutines drain and exit.
   void close();
@@ -197,9 +210,11 @@ class Osd : public net::Receiver {
     std::uint64_t journal_bytes = 0;
     OpRef op;          // null for replica ops
     fs::ObjectId oid;  // for the ondisk-read gate
+    std::uint64_t seq = 0;  // journal record to retire (0 = raw entry)
   };
   sim::CoTask<void> apply_loop();
   sim::CoTask<void> do_apply(ApplyItem item);
+  sim::CoTask<void> replay_records(std::vector<fs::Journal::ReplayedRecord> records);
 
   /// Ceph's ondisk_read_lock: a read of an object waits until the object's
   /// in-flight (journaled but not yet applied) writes reach the filestore.

@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "common/crc32c.h"
 #include "common/histogram.h"
 #include "common/interned.h"
 #include "common/payload.h"
@@ -297,6 +298,38 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::kiops(81300), "81.3K");
   EXPECT_EQ(Table::kiops(950), "950");
+}
+
+TEST(Crc32c, MatchesRfc3720TestVectors) {
+  // iSCSI CRC32C test vectors (RFC 3720 §B.4).
+  std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<std::uint8_t> asc(32), desc(32);
+  for (int i = 0; i < 32; i++) {
+    asc[std::size_t(i)] = std::uint8_t(i);
+    desc[std::size_t(i)] = std::uint8_t(31 - i);
+  }
+  EXPECT_EQ(crc32c(asc.data(), asc.size()), 0x46DD794Eu);
+  EXPECT_EQ(crc32c(desc.data(), desc.size()), 0x113FDB5Cu);
+
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32c(digits, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalFeedEqualsOneShot) {
+  std::vector<std::uint8_t> buf(257);
+  for (std::size_t i = 0; i < buf.size(); i++) buf[i] = std::uint8_t(i * 31 + 7);
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+  for (std::size_t split : {std::size_t(0), std::size_t(1), std::size_t(100), buf.size()}) {
+    const std::uint32_t head = crc32c(buf.data(), split);
+    EXPECT_EQ(crc32c(buf.data() + split, buf.size() - split, head), whole) << split;
+  }
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+  EXPECT_NE(whole, crc32c(buf.data(), buf.size() - 1));  // length-sensitive
 }
 
 }  // namespace

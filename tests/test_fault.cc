@@ -50,17 +50,19 @@ TEST(FaultPlan, RandomStaysInWindowAndHeals) {
   fault::FaultPlan plan = fault::FaultPlan::random(3, warmup, horizon, 20, 4);
   EXPECT_FALSE(plan.empty());
 
-  int crashes = 0, restarts = 0;
+  int crashes = 0, restarts = 0, torn = 0;
   for (const auto& e : plan.events) {
     EXPECT_GE(e.at, warmup);
     EXPECT_LE(e.at, horizon);
     EXPECT_LT(e.osd, 4u);
     if (e.kind == fault::FaultKind::kOsdCrash) crashes++;
     if (e.kind == fault::FaultKind::kOsdRestart) restarts++;
+    if (e.kind == fault::FaultKind::kTornWrite) torn++;
   }
-  // Every generated crash is paired with a restart, so a randomized soak
+  // Every generated crash — explicit or via a torn write (which kills the
+  // daemon mid-persist) — is paired with a restart, so a randomized soak
   // always ends with the whole cluster back up.
-  EXPECT_EQ(crashes, restarts);
+  EXPECT_EQ(crashes + torn, restarts);
 }
 
 TEST(FaultPlan, DescribeNamesEveryKind) {
@@ -71,14 +73,23 @@ TEST(FaultPlan, DescribeNamesEveryKind) {
   plan.link_delay(1, 0, 1, 100, 1);
   plan.link_partition(1, 0, 1, 1);
   plan.journal_stall(1, 0, 1);
+  plan.bit_flip_data(1, 0);
+  plan.torn_write(1, 0);
   const std::string text = plan.describe();
   for (auto kind : {fault::FaultKind::kOsdCrash, fault::FaultKind::kOsdRestart,
                     fault::FaultKind::kSsdSlow, fault::FaultKind::kLinkDrop,
                     fault::FaultKind::kLinkDelay, fault::FaultKind::kLinkPartition,
-                    fault::FaultKind::kJournalStall}) {
+                    fault::FaultKind::kJournalStall, fault::FaultKind::kBitFlip,
+                    fault::FaultKind::kTornWrite}) {
     EXPECT_NE(text.find(fault::kind_name(kind)), std::string::npos)
         << "describe() is missing " << fault::kind_name(kind);
   }
+  // The two bit-flip flavours describe distinctly (the media matters).
+  fault::FaultPlan data_flip, journal_flip;
+  data_flip.bit_flip_data(1, 0);
+  journal_flip.bit_flip_journal(1, 0);
+  EXPECT_NE(data_flip.describe(), journal_flip.describe());
+  EXPECT_NE(journal_flip.describe().find("media=journal"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +270,83 @@ TEST(FaultInjector, SsdSlowAndJournalStallAreTransparentToClients) {
   EXPECT_EQ(inj.counters().get("fault.ssd_slow"), 1u);
   EXPECT_EQ(inj.counters().get("fault.journal_stall"), 1u);
   EXPECT_EQ(inj.counters().get("fault.cleared"), 1u);  // the ssd_slow window
+}
+
+// ---------------------------------------------------------------------------
+// Corruption faults end to end: torn-write replay and bit-flip scrub repair.
+
+TEST(FaultInjector, TornWriteReplaysDurableRecordsOnRestart) {
+  core::ClusterConfig cfg = small_cluster(42);
+  cfg.osd.rep_timeout = 20 * kMillisecond;
+  cfg.osd.rep_retries = 1;
+  cfg.client_op_timeout = 100 * kMillisecond;
+  core::ClusterSim cluster(cfg);
+
+  // Stall the journal writer so a backlog of batches queues up, then tear
+  // the queue mid-stall (prefix persists, daemon dies) and restart later.
+  fault::FaultPlan plan;
+  plan.journal_stall(100 * kMillisecond, 1, 40 * kMillisecond);
+  plan.torn_write_restart(120 * kMillisecond, 1, 80 * kMillisecond);
+  fault::FaultInjector& inj = cluster.install_faults(plan);
+
+  const SoakResult r = drive(cluster, 400 * kMillisecond);
+  EXPECT_GT(r.begun, 0u);
+  EXPECT_EQ(r.begun, r.resolved);  // exactly-once: every op acked or failed
+  EXPECT_EQ(r.pending, 0u);
+  EXPECT_EQ(r.below_min, 0u);
+
+  // The tear found queued batches; the prefix survived as records.
+  EXPECT_EQ(inj.counters().get("fault.torn_write"), 1u);
+  EXPECT_EQ(inj.counters().get("fault.osd_restart"), 1u);
+  EXPECT_GT(inj.counters().get("fault.torn_entries"), 0u);
+
+  // On restart the OSD replayed the surviving prefix from its own ring —
+  // locally durable writes came back without peer traffic — and counted
+  // exactly one torn tail where replay stopped.
+  auto& c = cluster.osd(1).counters();
+  EXPECT_GT(c.get("osd.journal.records_replayed"), 0u);
+  EXPECT_EQ(c.get("osd.journal.torn_tails"), 1u);
+  EXPECT_EQ(c.get("osd.journal.crc_failures"), 0u);
+}
+
+TEST(FaultInjector, BitFlipsAreFoundAndRepairedByDeepScrub) {
+  core::ClusterSim cluster(small_cluster(42));
+
+  // Flip bytes in data extents on two OSDs well after the workload window:
+  // the events fire during the post-deadline drain, when every op has
+  // resolved, so nothing overwrites the corruption before the scrub sees it.
+  fault::FaultPlan plan;
+  plan.bit_flip_data(1 * kSecond, 1);
+  plan.bit_flip_data(1 * kSecond, 2);
+  fault::FaultInjector& inj = cluster.install_faults(plan);
+
+  const SoakResult r = drive(cluster, 150 * kMillisecond);
+  EXPECT_GT(r.begun, 0u);
+  EXPECT_EQ(r.begun, r.resolved);
+  EXPECT_EQ(inj.counters().get("fault.bit_flip"), 2u);
+  EXPECT_EQ(inj.counters().get("fault.bit_flip_noop"), 0u);
+
+  bool done = false;
+  sim::spawn_fn([&cluster, &done]() -> sim::CoTask<void> {
+    auto detect = co_await cluster.deep_scrub(/*repair=*/false);
+    EXPECT_GT(detect.inconsistent, 0u);
+
+    auto repair = co_await cluster.deep_scrub(/*repair=*/true);
+    EXPECT_GE(repair.repaired, repair.inconsistent);
+
+    auto verify = co_await cluster.deep_scrub(/*repair=*/false);
+    EXPECT_EQ(verify.inconsistent, 0u);
+    EXPECT_EQ(verify.missing, 0u);
+    done = true;
+  });
+  cluster.simulation().run();
+  EXPECT_TRUE(done);
+
+  std::uint64_t repaired = 0;
+  for (std::size_t o = 0; o < cluster.osd_count(); o++) {
+    repaired += cluster.osd(o).counters().get("osd.scrub_objects_repaired");
+  }
+  EXPECT_GT(repaired, 0u);
 }
 
 }  // namespace

@@ -336,6 +336,180 @@ TEST(Journal, FullRingBlocksUntilRelease) {
   });
 }
 
+TEST(Transaction, EncodeDecodeRoundTrip) {
+  Transaction t;
+  ObjectId oid{7, "rbd_data.3.00000000004a"};
+  t.write(oid, 12288, Payload::pattern(4096, 99, 512));
+  t.write(oid, 0, Payload::bytes({0xde, 0xad, 0xbe, 0xef}));
+  t.omap_setkeys(oid, {{"pglog.1", kv::Value::virt(180)},
+                       {"pginfo", kv::Value::real("epoch=4")}});
+  t.omap_rmkeyrange(oid, "pglog.0000", "pglog.0040");
+  t.setattrs(oid, {{"_", kv::Value::virt(250)}});
+  t.set_alloc_hint(oid);
+
+  const auto img = t.encode();
+  auto back = Transaction::decode(img.data(), img.size());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->op_count(), t.op_count());
+  for (std::size_t i = 0; i < t.op_count(); i++) {
+    const TxOp& a = t.ops()[i];
+    const TxOp& b = back->ops()[i];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.oid, b.oid);
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.data.size(), b.data.size());
+    EXPECT_EQ(a.data.is_virtual(), b.data.is_virtual());
+    EXPECT_EQ(a.data.fingerprint(), b.data.fingerprint());
+    EXPECT_EQ(a.omap, b.omap);
+    EXPECT_EQ(a.attrs, b.attrs);
+    EXPECT_EQ(a.range_lo, b.range_lo);
+    EXPECT_EQ(a.range_hi, b.range_hi);
+  }
+  // The round-trip is byte-stable: re-encoding reproduces the image.
+  EXPECT_EQ(back->encode(), img);
+
+  // Truncated or overlong images are malformed, never misparsed.
+  EXPECT_FALSE(Transaction::decode(img.data(), img.size() - 1).has_value());
+  auto longer = img;
+  longer.push_back(0);
+  EXPECT_FALSE(Transaction::decode(longer.data(), longer.size()).has_value());
+}
+
+TEST(Journal, RestartOnEmptyRingReturnsNothing) {
+  JournalFixture f;
+  Journal j(f.sim, f.nvram, Journal::Config{});
+  auto res = j.restart();
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_EQ(res.torn_tails, 0u);
+  EXPECT_EQ(res.crc_failures, 0u);
+  EXPECT_EQ(res.truncated, 0u);
+}
+
+TEST(Journal, TornWriteTruncatesTailAndReplaysPrefix) {
+  JournalFixture f;
+  Journal::Config cfg;
+  Journal j(f.sim, f.nvram, cfg);
+  f.run([&]() -> sim::CoTask<void> {
+    // Stall the device so the writer holds its first batch and the rest of
+    // the entries pile up in the submit queue, then tear that queue.
+    j.stall_until(10 * kMillisecond);
+    for (int i = 0; i < 5; i++) {
+      sim::spawn_fn([&j, i]() -> sim::CoTask<void> {
+        co_await j.reserve(4096);
+        std::vector<std::uint8_t> img(64 + std::size_t(i), std::uint8_t(i));
+        co_await j.write_entry(4096, std::move(img));
+      });
+      if (i == 0) {
+        // Let the writer pop entry 0 into its (stalled) batch before the
+        // rest arrive, so entries 1..4 pile up in the submit queue.
+        co_await sim::delay(f.sim, 10 * kMicrosecond);
+      }
+    }
+    co_await sim::delay(f.sim, 1 * kMillisecond);
+    // Entry 0 rode into the writer's held batch; entries 1..4 were queued.
+    // The tear lands 2 full records, tears the 3rd, loses the 4th.
+    EXPECT_EQ(j.inject_torn_write(7), 4u);
+
+    auto res = j.restart();
+    EXPECT_EQ(res.torn_tails, 1u);
+    EXPECT_EQ(res.crc_failures, 0u);
+    EXPECT_EQ(res.truncated, 0u);  // nothing unapplied beyond the torn record
+    EXPECT_EQ(res.records.size(), 2u);
+    if (res.records.size() == 2) {
+      EXPECT_EQ(res.records[0].seq, 1u);
+      EXPECT_EQ(res.records[1].seq, 2u);
+    }
+    EXPECT_EQ(j.records_retained(), 2u);
+
+    // Replayed records retire idempotently; truncated seqs are ignored.
+    j.mark_applied(1);
+    j.mark_applied(1);
+    j.mark_applied(3);  // the torn record's seq — already truncated, no-op
+    j.mark_applied(2);
+    EXPECT_EQ(j.records_retained(), 0u);
+    co_return;
+  });
+  // The held batch survived the tear (the device finished its DMA): its
+  // entry committed after the stall with a seq past the truncated tail.
+  EXPECT_EQ(j.entries_written(), 1u);
+  EXPECT_EQ(j.records_retained(), 1u);
+}
+
+TEST(Journal, CorruptRecordMidRingStopsReplayAtFirstBadCrc) {
+  JournalFixture f;
+  Journal j(f.sim, f.nvram, Journal::Config{});
+  std::vector<std::uint64_t> seqs;
+  f.run([&]() -> sim::CoTask<void> {
+    for (int i = 0; i < 4; i++) {
+      co_await j.reserve(4096);
+      std::vector<std::uint8_t> img(128, std::uint8_t(i));
+      seqs.push_back(co_await j.write_entry(4096, std::move(img)));
+    }
+  });
+  ASSERT_EQ(seqs.size(), 4u);
+  ASSERT_TRUE(j.corrupt_record(11));
+
+  auto res = j.restart();
+  EXPECT_EQ(res.crc_failures, 1u);
+  EXPECT_EQ(res.torn_tails, 0u);
+  // The scan stops at the flipped record: everything before it replays,
+  // everything from it on is truncated.
+  EXPECT_EQ(res.records.size() + 1 + res.truncated, 4u);
+  EXPECT_EQ(j.records_retained(), res.records.size());
+  for (std::size_t i = 0; i < res.records.size(); i++) {
+    EXPECT_EQ(res.records[i].seq, seqs[i]);
+  }
+}
+
+TEST(Journal, RestartSkipsAppliedPrefix) {
+  JournalFixture f;
+  Journal j(f.sim, f.nvram, Journal::Config{});
+  std::vector<std::uint64_t> seqs;
+  f.run([&]() -> sim::CoTask<void> {
+    for (int i = 0; i < 4; i++) {
+      co_await j.reserve(4096);
+      std::vector<std::uint8_t> img(128, std::uint8_t(i));
+      seqs.push_back(co_await j.write_entry(4096, std::move(img)));
+    }
+  });
+  j.mark_applied(seqs[0]);
+  j.mark_applied(seqs[1]);
+
+  auto res = j.restart();
+  ASSERT_EQ(res.records.size(), 2u);  // only the unapplied suffix replays
+  EXPECT_EQ(res.records[0].seq, seqs[2]);
+  EXPECT_EQ(res.records[1].seq, seqs[3]);
+  EXPECT_EQ(res.torn_tails, 0u);
+  EXPECT_EQ(res.crc_failures, 0u);
+}
+
+TEST(Journal, CloseDuringStallRejectsNewWritesDeterministically) {
+  JournalFixture f;
+  Journal j(f.sim, f.nvram, Journal::Config{});
+  std::uint64_t committed_seq = 0;
+  f.run([&]() -> sim::CoTask<void> {
+    j.stall_until(5 * kMillisecond);
+    sim::spawn_fn([&]() -> sim::CoTask<void> {
+      co_await j.reserve(4096);
+      committed_seq = co_await j.write_entry(4096, std::vector<std::uint8_t>(32, 1));
+    });
+    co_await sim::delay(f.sim, 1 * kMillisecond);
+    j.close();
+    // Entries submitted after close are rejected, not silently committed:
+    // a closing journal must never report durability it cannot provide.
+    co_await j.reserve(4096);
+    const std::uint64_t seq = co_await j.write_entry(4096, std::vector<std::uint8_t>(32, 2));
+    EXPECT_EQ(seq, 0u);
+    co_await j.write_entry(4096);  // legacy API: same rejection path
+    EXPECT_EQ(j.rejected_writes(), 2u);
+    j.release(4096);
+    j.release(4096);
+  });
+  // The entry in flight at close() still drained and committed.
+  EXPECT_GT(committed_seq, 0u);
+  EXPECT_EQ(j.entries_written(), 1u);
+}
+
 TEST(Journal, TracksBytesAndStallTime) {
   JournalFixture f;
   Journal::Config cfg;
