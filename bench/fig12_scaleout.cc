@@ -8,9 +8,12 @@
 // receive path burns CPU per connection (connection count grows with the
 // cluster).
 
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "afceph.h"
+#include "core/bench_json.h"
 
 using namespace afc;
 
@@ -21,7 +24,8 @@ struct Point {
   double cpu;
 };
 
-Point run_nodes(unsigned nodes, const client::WorkloadSpec& base, bool write) {
+Point run_nodes(const char* workload, unsigned nodes, const client::WorkloadSpec& base,
+                bool write) {
   core::ClusterConfig cfg;
   cfg.profile = core::Profile::afceph();
   cfg.sustained = false;  // paper: "SSDs are clean state"
@@ -33,7 +37,29 @@ Point run_nodes(unsigned nodes, const client::WorkloadSpec& base, bool write) {
   auto spec = base;
   spec.warmup = 300 * kMillisecond;
   spec.runtime = base.block_size >= kMiB ? 3 * kSecond : 1000 * kMillisecond;
+  const auto wall0 = std::chrono::steady_clock::now();
   auto r = cluster.run(spec);
+  // AFC_BENCH_JSON: this rung becomes a wall-clock trajectory datapoint
+  // (stdout stays byte-identical either way).
+  if (core::BenchJson::enabled()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    core::BenchRecord rec;
+    rec.bench = "fig12_scaleout";
+    rec.config = std::string("afceph/") + workload;
+    rec.nodes = nodes;
+    rec.osds = nodes * cfg.osds_per_node;
+    rec.metric = write ? "write_iops" : "read_iops";
+    rec.value = write ? r.write_iops : r.read_iops;
+    rec.wall_ms = wall_ms;
+    rec.events = cluster.simulation().executed_events();
+    rec.events_per_wall_sec = wall_ms > 0 ? double(rec.events) / (wall_ms / 1e3) : 0;
+    rec.sim_ns = cluster.simulation().now();
+    rec.sim_ns_per_wall_ns = wall_ms > 0 ? double(rec.sim_ns) / (wall_ms * 1e6) : 0;
+    rec.max_node_cpu = r.max_osd_node_cpu;
+    core::BenchJson::record(rec);
+  }
   return Point{write ? r.write_iops : r.read_iops, r.max_osd_node_cpu};
 }
 
@@ -42,7 +68,7 @@ void sweep(const char* name, const client::WorkloadSpec& spec, bool write, bool 
   Table t({"nodes", as_mbps ? "MB/s" : "IOPS", "scaling vs 4 nodes", "max node CPU"});
   double base = 0.0;
   for (unsigned nodes : {4u, 8u, 16u}) {
-    auto p = run_nodes(nodes, spec, write);
+    auto p = run_nodes(name, nodes, spec, write);
     const double v = as_mbps ? p.value * double(spec.block_size) / double(kMiB) : p.value;
     if (nodes == 4) base = v;
     t.row({std::to_string(nodes), as_mbps ? Table::num(v, 0) : Table::kiops(v),

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # One-shot gate: configure Release, build, run the unit tests, run the
 # event-core microbenchmark, smoke-test the op tracer (including validating
-# the exported Chrome trace JSON), run the chaos fault-injection soak,
-# re-run that soak under ASan+UBSan, then run the rt/ concurrency stress
-# harness natively and under ThreadSanitizer. Exits non-zero on the first
-# failure.
+# the exported Chrome trace JSON), validate the committed BENCH_*.json perf
+# trajectory, run the transport perf-smoke (fig13 ladder + default-off
+# byte-identity), run the chaos fault-injection soak, re-run that soak under
+# ASan+UBSan, then run the rt/ concurrency stress harness natively and under
+# ThreadSanitizer. Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +26,34 @@ TRACE_JSON="$BUILD_DIR/trace_smoke.json"
 AFC_SIM_TRACE=1 AFC_SIM_TRACE_OUT="$TRACE_JSON" "$BUILD_DIR/bench/trace_smoke"
 python3 -m json.tool "$TRACE_JSON" > /dev/null
 echo "trace JSON OK: $TRACE_JSON"
+
+echo
+echo "=== BENCH_*.json perf trajectory (committed datapoints stay valid JSON) ==="
+for bench_json in BENCH_*.json; do
+  [ -e "$bench_json" ] || { echo "FAIL: no BENCH_*.json trajectory committed" >&2; exit 1; }
+  python3 -m json.tool "$bench_json" > /dev/null
+  echo "trajectory OK: $bench_json"
+done
+
+echo
+echo "=== transport perf-smoke (fig13 ladder @ 16 OSDs + a fresh datapoint) ==="
+SMOKE_JSON="$BUILD_DIR/bench_smoke.json"
+rm -f "$SMOKE_JSON"
+AFC_BENCH_JSON="$SMOKE_JSON" "$BUILD_DIR/bench/fig13_transport" --smoke
+python3 -m json.tool "$SMOKE_JSON" > /dev/null
+echo "perf-smoke OK (sharded+batched >= community; $SMOKE_JSON valid)"
+
+echo
+echo "=== transport byte-identity (all switches off == explicit community rung) ==="
+# The default-constructed net config IS the community rung; forcing it via
+# the env override must not change a byte of the paper figures.
+"$BUILD_DIR/bench/fig01_baseline" > "$BUILD_DIR/fig01_default.txt"
+AFC_NET_TRANSPORT=community "$BUILD_DIR/bench/fig01_baseline" > "$BUILD_DIR/fig01_community.txt"
+cmp "$BUILD_DIR/fig01_default.txt" "$BUILD_DIR/fig01_community.txt"
+"$BUILD_DIR/bench/fig03_latency_breakdown" > "$BUILD_DIR/fig03_default.txt"
+AFC_NET_TRANSPORT=community "$BUILD_DIR/bench/fig03_latency_breakdown" > "$BUILD_DIR/fig03_community.txt"
+cmp "$BUILD_DIR/fig03_default.txt" "$BUILD_DIR/fig03_community.txt"
+echo "fig01/fig03 byte-identical with switches off"
 
 echo
 echo "=== bench/chaos (fault injection + recovery invariants) ==="

@@ -46,6 +46,7 @@ class VmClient : public net::Receiver {
   ~VmClient() override;
 
   net::Messenger& messenger() { return msgr_; }
+  const net::Messenger& messenger() const { return msgr_; }
   const RbdImage& image() const { return image_; }
   std::uint64_t client_id() const { return client_id_; }
 

@@ -30,6 +30,7 @@ inline constexpr unsigned kWriteStageCount =
 namespace stage {
 inline constexpr const char* kClientIo = "client.io";             // submit → completion, client side
 inline constexpr const char* kNetWire = "net.wire";               // messenger send → delivery
+inline constexpr const char* kNetBatch = "net.batch";             // egress batcher: enqueue → frame flush
 inline constexpr const char* kDispatchThrottle = "osd.dispatch.throttle";  // client-message cap wait
 inline constexpr const char* kPgLockWait = "osd.pg_lock.wait";    // PG lock / pending-queue wait
 inline constexpr const char* kJournalThrottle = "osd.journal.throttle";    // fs/journal throttles + reserve

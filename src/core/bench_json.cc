@@ -1,0 +1,100 @@
+#include "core/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+namespace afc::core {
+
+namespace {
+
+constexpr const char* kHeader = "{\"schema\":\"afc-bench-v1\",\"runs\":[";
+constexpr const char* kFooter = "]}\n";
+
+/// Minimal JSON string escaping for the label/name fields we emit (no
+/// control characters expected; quotes and backslashes handled).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_record(const BenchRecord& r) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << escape(r.bench) << "\",\"config\":\"" << escape(r.config) << "\"";
+  if (const char* label = std::getenv("AFC_BENCH_LABEL"); label != nullptr && label[0] != '\0') {
+    os << ",\"label\":\"" << escape(label) << "\"";
+  }
+  os << ",\"utc\":" << std::time(nullptr);
+  os << ",\"nodes\":" << r.nodes << ",\"osds\":" << r.osds;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", r.value);
+  os << ",\"metric\":\"" << escape(r.metric) << "\",\"value\":" << buf;
+  std::snprintf(buf, sizeof buf, "%.1f", r.wall_ms);
+  os << ",\"wall_ms\":" << buf;
+  os << ",\"events\":" << r.events;
+  std::snprintf(buf, sizeof buf, "%.6g", r.events_per_wall_sec);
+  os << ",\"events_per_wall_sec\":" << buf;
+  os << ",\"sim_ns\":" << r.sim_ns;
+  std::snprintf(buf, sizeof buf, "%.4g", r.sim_ns_per_wall_ns);
+  os << ",\"sim_ns_per_wall_ns\":" << buf;
+  std::snprintf(buf, sizeof buf, "%.3f", r.max_node_cpu);
+  os << ",\"max_node_cpu\":" << buf << "}";
+  return os.str();
+}
+
+}  // namespace
+
+bool BenchJson::enabled() {
+  const char* p = std::getenv("AFC_BENCH_JSON");
+  return p != nullptr && p[0] != '\0';
+}
+
+std::string BenchJson::path() {
+  const char* p = std::getenv("AFC_BENCH_JSON");
+  return p != nullptr ? p : "";
+}
+
+bool BenchJson::record(const BenchRecord& rec) {
+  if (!enabled()) return true;
+  const std::string file = path();
+  std::string body;
+  {
+    std::ifstream in(file, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      body = ss.str();
+    }
+  }
+  if (body.empty()) {
+    body = std::string(kHeader) + kFooter;
+  }
+  // Splice before the closing "]}" of our own format; anything else is a
+  // foreign file we refuse to clobber.
+  const std::size_t cut = body.rfind(kFooter);
+  if (body.rfind(kHeader, 0) != 0 || cut == std::string::npos) {
+    std::fprintf(stderr, "BenchJson: %s is not an afc-bench-v1 file; record dropped\n",
+                 file.c_str());
+    return false;
+  }
+  const bool first = cut > 0 && body[cut - 1] == '[';
+  std::string entry = first ? "\n" : ",\n";
+  entry += format_record(rec);
+  entry += "\n";
+  body.insert(cut, entry);
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << body)) {
+    std::fprintf(stderr, "BenchJson: failed writing %s\n", file.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace afc::core

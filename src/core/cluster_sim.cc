@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/stage_names.h"
+#include "net/profile.h"
 
 namespace afc::core {
 
@@ -38,6 +39,17 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     trace::Collector::install(tracer_.get());
   }
   // --- environment-dependent defaults ---------------------------------
+  // AFC_NET_TRANSPORT overrides the transport rung without touching bench
+  // code (community / optimized / sharded / sharded_batched / bypass) —
+  // check.sh uses it to prove the default-off path is byte-identical to an
+  // explicit community rung.
+  if (const char* t = std::getenv("AFC_NET_TRANSPORT"); t != nullptr && t[0] != '\0') {
+    if (auto net_cfg = net::NetProfile::by_name(t)) {
+      cfg_.net = *net_cfg;
+    } else {
+      std::fprintf(stderr, "AFC_NET_TRANSPORT: unknown rung '%s' (ignored)\n", t);
+    }
+  }
   cfg_.ssd.sustained = cfg_.sustained;
   cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
   if (cfg_.sustained) {
@@ -87,9 +99,8 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     }
   }
 
-  // --- cluster-network wiring (TCP_NODELAY, as Ceph sets on its sockets) -
-  net::Connection::Config cluster_net = cfg_.net;
-  cluster_net.nagle = false;
+  // --- cluster-network wiring ------------------------------------------
+  const net::Connection::Config cluster_net = net::NetProfile::cluster(cfg_.net);
   for (unsigned i = 0; i < total_osds; i++) {
     for (unsigned j = i + 1; j < total_osds; j++) {
       net::Connection* conn = osds_[i]->messenger().connect(osds_[j]->messenger(), cluster_net);
@@ -99,8 +110,8 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
   }
 
   // --- VMs ---------------------------------------------------------------
-  net::Connection::Config client_net = cfg_.net;
-  client_net.nagle = !cfg_.profile.disable_nagle;  // KRBD default: Nagle on
+  const net::Connection::Config client_net =
+      net::NetProfile::client(cfg_.net, !cfg_.profile.disable_nagle);
   for (unsigned v = 0; v < cfg_.vms; v++) {
     net::Node& host = *client_nodes_[v % cfg_.client_nodes];
     vms_.push_back(std::make_unique<client::VmClient>(
@@ -200,6 +211,18 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
   for (const auto& n : osd_nodes_) {
     r.max_osd_node_cpu = std::max(r.max_osd_node_cpu, n->cpu().utilization());
   }
+  net::NetStats net;
+  for (const auto& o : osds_) net.merge(o->messenger().net_stats());
+  for (const auto& v : vms_) net.merge(v->messenger().net_stats());
+  r.net_messages = net.messages;
+  r.net_frames = net.frames;
+  r.net_batches = net.batches;
+  r.net_batched_msgs = net.batched_msgs;
+  r.net_max_batch = net.max_batch;
+  r.net_batch_occupancy = net.batch_occupancy();
+  r.net_nagle_stalls = net.nagle_stalls;
+  r.net_shard_wakeups = net.shard_wakeups;
+  r.net_shard_depth_hwm = net.shard_depth_hwm;
 }
 
 fault::FaultInjector& ClusterSim::install_faults(const fault::FaultPlan& plan) {
@@ -270,10 +293,9 @@ sim::CoTask<std::uint64_t> ClusterSim::add_node() {
   const osd::ThrottleSet::Config throttle_cfg = cfg_.profile.ssd_throttles
                                                     ? osd::ThrottleSet::Config::ssd_tuned()
                                                     : osd::ThrottleSet::Config::community();
-  net::Connection::Config cluster_net = cfg_.net;
-  cluster_net.nagle = false;
-  net::Connection::Config client_net = cfg_.net;
-  client_net.nagle = !cfg_.profile.disable_nagle;
+  const net::Connection::Config cluster_net = net::NetProfile::cluster(cfg_.net);
+  const net::Connection::Config client_net =
+      net::NetProfile::client(cfg_.net, !cfg_.profile.disable_nagle);
 
   const std::size_t first_new = osds_.size();
   for (unsigned k = 0; k < cfg_.osds_per_node; k++) {

@@ -99,6 +99,18 @@ struct RunResult {
   /// Mean per-stage write-path latency (Fig. 3), ms, index = osd::Stage.
   std::array<double, osd::kStageCount> stage_ms{};
   double write_path_total_ms = 0.0;
+  // Transport layer (cluster-wide net::NetStats): frame/batch/shard evidence
+  // for the messenger ladder. net_frames == net_messages when batching never
+  // engaged; occupancy is mean messages per wire frame.
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_frames = 0;
+  std::uint64_t net_batches = 0;
+  std::uint64_t net_batched_msgs = 0;
+  std::uint64_t net_max_batch = 0;
+  double net_batch_occupancy = 0.0;
+  std::uint64_t net_nagle_stalls = 0;
+  std::uint64_t net_shard_wakeups = 0;
+  std::uint64_t net_shard_depth_hwm = 0;
 };
 
 /// Builds a simulated Ceph cluster (community or AFCeph per the profile)

@@ -75,6 +75,20 @@ std::string health_report(ClusterSim& cluster) {
            (unsigned long long)o.dlog().emitted(), (unsigned long long)o.dlog().written(),
            (unsigned long long)o.dlog().dropped(), (unsigned long long)o.meta_cache().hits(),
            (unsigned long long)o.meta_cache().misses());
+    const net::NetStats net = o.messenger().net_stats();
+    append(out,
+           "       msgr: in %llu | out %llu msgs / %llu frames (occ %.2f, batches %llu, "
+           "max %llu) | drops %llu resends %llu",
+           (unsigned long long)o.messenger().delivered(), (unsigned long long)net.messages,
+           (unsigned long long)net.frames, net.batch_occupancy(),
+           (unsigned long long)net.batches, (unsigned long long)net.max_batch,
+           (unsigned long long)net.dropped_frames, (unsigned long long)net.frame_resends);
+    if (net.shard_wakeups > 0) {
+      append(out, " | shards: wakeups %llu frames %llu depth-hwm %zu",
+             (unsigned long long)net.shard_wakeups, (unsigned long long)net.shard_frames,
+             net.shard_depth_hwm);
+    }
+    append(out, "\n");
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -26,11 +27,23 @@ struct Message {
   /// Op attribution for the tracer (set by senders only while tracing).
   trace::Span trace;
   Time trace_send_ns = 0;  // send() enqueue time, for the net.wire span
-  /// Times this message has been retransmitted after a lossy-link drop.
+};
+
+/// The unit that actually traverses a connection. Without batching every
+/// frame carries exactly one message and `wire_size` equals that message's
+/// size, so the default transport is byte-for-byte the per-message model.
+/// The egress batcher packs several small same-direction messages into one
+/// frame (payloads moved, never copied — bytes are charged to the NIC once);
+/// link faults drop, delay and retransmit whole frames.
+struct Frame {
+  std::vector<Message> msgs;
+  std::uint64_t wire_size = 0;
   std::uint16_t resend_attempts = 0;
 };
 
 class Messenger;
+class Batcher;
+class RxShards;
 
 /// Anything that can receive messages (an OSD, a client, a SolidFire node).
 class Receiver {
@@ -40,18 +53,46 @@ class Receiver {
   /// charged. The connection's delivery pipeline waits for the returned task,
   /// so suspending here (e.g. on the OSD's client-message throttle) back-
   /// pressures that connection exactly like the real messenger's dispatch
-  /// throttler. Spawn long work instead of awaiting it.
+  /// throttler. Under sharded dispatch the *shard* waits instead, so a slow
+  /// receiver stalls every connection hashed to the same shard (the honest
+  /// cost of replacing thread-per-connection with N dispatch shards).
+  /// Spawn long work instead of awaiting it.
   virtual sim::CoTask<void> on_message(Message m) = 0;
 };
 
-/// One direction of a messenger pair: local → remote. Models Ceph's
-/// SimpleMessenger structure: a dedicated sender pipeline and a dedicated
-/// receiver pipeline per connection, in-order delivery, and per-message CPU
-/// charged to both endpoints. Optionally applies a TCP-Nagle stall to small
-/// messages when the direction is otherwise idle (the KRBD behaviour the
-/// paper's system tuning disables).
+/// One direction of a messenger pair: local → remote. The default models
+/// Ceph's SimpleMessenger structure: a dedicated sender pipeline and a
+/// dedicated receiver pipeline per connection, in-order delivery, and
+/// per-message CPU charged to both endpoints (plus a per-registered-
+/// connection receive tax — the thread-per-connection context-switch cost
+/// behind Fig. 12's 16-node ceiling). Optionally applies a TCP-Nagle stall
+/// to small messages when the direction is otherwise idle (the KRBD
+/// behaviour the paper's system tuning disables).
+///
+/// Three post-SimpleMessenger mechanisms stack on top, each independently
+/// toggleable (see net::NetProfile for the named rungs; all default off):
+///
+///   * sharded dispatch (`rx_shards > 0`): the receiving endpoint runs N
+///     dispatch shards instead of one receive pipeline per connection;
+///     connections map to shards by stable hash, per-connection FIFO order
+///     is preserved, and the O(rx_connections) `per_conn_recv_cpu` tax is
+///     replaced by a per-shard wakeup cost amortized over every frame the
+///     wakeup drains.
+///   * egress batching (`batch`): small same-direction messages coalesce
+///     into one wire frame. A frame flushes when it reaches
+///     `batch_max_bytes`, when `batch_max_delay` expires, or as soon as the
+///     sender pipeline goes idle — so sparse traffic pays no added latency
+///     while busy links amortize `send_cpu`/`recv_cpu` across the batch.
+///   * bypass transport (`transport = kBypass`): RDMA-like cost structure —
+///     near-zero per-message CPU, a one-time per-connection `setup_cpu`,
+///     and no Nagle ever (there is no kernel socket to stall).
 class Connection {
  public:
+  enum class Transport {
+    kTcp,     // kernel sockets: Nagle possible, per-message CPU as configured
+    kBypass,  // RDMA-like: no Nagle, setup cost at connect, near-zero per-msg CPU
+  };
+
   struct Config {
     Time prop_latency = 60 * kMicrosecond;  // switch + propagation
     Time send_cpu = 10 * kMicrosecond;
@@ -63,13 +104,33 @@ class Connection {
     Time nagle_stall = 3 * kMillisecond;
     std::uint64_t mss = 1448;
     std::uint64_t nagle_max_size = 64 * 1024;  // larger transfers stream
-    /// Lossy-link recovery (TCP retransmission, coarse): a message dropped
+    /// Lossy-link recovery (TCP retransmission, coarse): a frame dropped
     /// by an injected link fault is re-enqueued after this delay, up to
     /// `max_resends` attempts. Later traffic overtakes the retransmission,
     /// so receivers see duplicates and reordering — exactly what the fault
-    /// tests exercise.
+    /// tests exercise. A batched frame retransmits as a whole.
     Time retransmit_delay = 200 * kMicrosecond;
     unsigned max_resends = 8;
+
+    // --- post-SimpleMessenger transport family (all default off) ---------
+    Transport transport = Transport::kTcp;
+    /// One-time connection-establishment CPU per direction, charged to the
+    /// sending node at connect() (bypass: queue-pair setup + registration).
+    Time setup_cpu = 0;
+    /// Receive shards at the receiving endpoint; 0 = one receive pipeline
+    /// per connection (the SimpleMessenger model). The first sharded
+    /// connect() fixes an endpoint's shard count.
+    unsigned rx_shards = 0;
+    /// Charged once per shard wakeup, amortized over every frame that
+    /// wakeup drains (replaces the per-connection tax).
+    Time shard_wakeup_cpu = 2 * kMicrosecond;
+    /// Egress batching/coalescing.
+    bool batch = false;
+    std::uint64_t batch_max_bytes = 16 * 1024;
+    Time batch_max_delay = 20 * kMicrosecond;
+    std::uint64_t frame_header_bytes = 48;  // per batched frame, on the wire
+    Time batch_pack_cpu = 1 * kMicrosecond;  // sender, per message beyond the first
+    Time batch_unpack_cpu = 1500;            // receiver, per message beyond the first
   };
 
   /// Injected link fault state (set by fault::FaultInjector, default off).
@@ -86,6 +147,7 @@ class Connection {
   };
 
   Connection(Messenger& local, Messenger& remote, const Config& cfg);
+  ~Connection();
 
   /// Enqueue a message for ordered delivery to the remote receiver.
   void send(Message m);
@@ -93,6 +155,7 @@ class Connection {
   Connection* reverse() const { return reverse_; }
   Messenger& local() { return local_; }
   Messenger& remote() { return remote_; }
+  const Config& config() const { return cfg_; }
 
   /// Install / clear an injected link fault on this direction. `seed` feeds
   /// the drop coin-flip stream (deterministic per connection).
@@ -104,36 +167,98 @@ class Connection {
   std::uint64_t nagle_stalls() const { return nagle_stalls_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t resends() const { return resends_; }
+  // --- frame/batch counters (tentpole instrumentation) -------------------
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t batched_msgs() const { return batched_msgs_; }
+  std::uint64_t max_batch() const { return max_batch_; }
+  /// Frames enqueued to the sender but not yet handed to the receive side;
+  /// the batcher flushes eagerly whenever this hits zero.
+  std::uint64_t frames_in_flight() const { return frames_in_flight_; }
 
-  /// Stop the pipelines once drained (for clean shutdown).
+  /// Stop the pipelines once drained (for clean shutdown). Cancels a
+  /// pending Nagle stall, a pending batch-flush timer, and any scheduled
+  /// retransmissions of dropped frames — nothing fires after close().
   void close();
+
+  /// Deliver one frame to the remote receiver, charging receive-side CPU.
+  /// `via_shard` selects the sharded cost model (no per-connection tax).
+  /// Internal: called by the receiver pipeline or the remote's RxShards.
+  sim::CoTask<void> deliver_frame(Frame f, bool via_shard);
 
  private:
   friend class Messenger;
+  friend class Batcher;
   sim::CoTask<void> sender_loop();
   sim::CoTask<void> receiver_loop();
-  void schedule_resend(Message m);
+  /// Hand a completed frame to the sender pipeline (from send() or the
+  /// batcher's flush).
+  void enqueue_frame(Frame f);
+  /// The sender finished (delivered or dropped) one frame; when the
+  /// pipeline drains, pending batched messages flush immediately.
+  void frame_done();
+  void schedule_resend(Frame f);
+  void resend_fire(std::uint64_t id);
+  void account_lost(const Frame& f);
 
   Messenger& local_;
   Messenger& remote_;
   Config cfg_;
   Connection* reverse_ = nullptr;
-  sim::Channel<Message> tx_;
-  sim::Channel<Message> rx_;
+  sim::Channel<Frame> tx_;
+  sim::Channel<Frame> rx_;
   sim::Timer nagle_timer_;  // cancellable: close() drops a stall in flight
+  std::unique_ptr<Batcher> batcher_;  // non-null iff cfg_.batch
+  RxShards* rx_target_ = nullptr;     // non-null iff the remote endpoint shards
+  unsigned rx_shard_ = 0;             // stable-hash shard at the remote endpoint
   Fault fault_;
   Rng fault_rng_{0};
+  /// Retransmissions waiting out their RTO, cancellable by close().
+  struct PendingResend {
+    Frame frame;
+    sim::TimerToken token;
+  };
+  std::unordered_map<std::uint64_t, PendingResend> pending_resends_;
+  std::uint64_t next_resend_id_ = 1;
   std::uint64_t inflight_ = 0;  // messages in this direction's pipelines
+  std::uint64_t frames_in_flight_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t nagle_stalls_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t resends_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t batches_ = 0;       // frames carrying >= 2 messages
+  std::uint64_t batched_msgs_ = 0;  // messages inside such frames
+  std::uint64_t max_batch_ = 0;
+};
+
+/// Aggregated transport counters for one endpoint (sums over the connection
+/// directions the endpoint owns, plus its shard set if any).
+struct NetStats {
+  std::uint64_t messages = 0;  // messages sent
+  std::uint64_t frames = 0;    // wire frames sent
+  std::uint64_t batches = 0;
+  std::uint64_t batched_msgs = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t dropped_frames = 0;
+  std::uint64_t frame_resends = 0;
+  std::uint64_t nagle_stalls = 0;
+  std::uint64_t shard_wakeups = 0;
+  std::uint64_t shard_frames = 0;
+  std::size_t shard_depth_hwm = 0;
+
+  /// Mean messages per wire frame (1.0 when batching never engaged).
+  double batch_occupancy() const {
+    return frames == 0 ? 0.0 : double(messages) / double(frames);
+  }
+  void merge(const NetStats& o);
 };
 
 /// A message endpoint bound to a Node and a Receiver.
 class Messenger {
  public:
   Messenger(sim::Simulation& sim, Node& node, Receiver& rx, std::string name);
+  ~Messenger();
   Messenger(const Messenger&) = delete;
   Messenger& operator=(const Messenger&) = delete;
 
@@ -164,16 +289,29 @@ class Messenger {
   /// to find every link touching a target endpoint.
   const std::vector<std::unique_ptr<Connection>>& connections() const { return conns_; }
 
+  /// The endpoint's receive-shard set, or nullptr while no sharded
+  /// connection has registered (the per-connection model).
+  RxShards* rx_shards() { return rx_shards_.get(); }
+
+  /// Transport counters summed over this endpoint's connections + shards.
+  NetStats net_stats() const;
+
   void close_all();
 
  private:
   friend class Connection;
+  /// Create the shard set on first sharded registration; later connects
+  /// reuse it (the first shard count wins per endpoint).
+  RxShards* ensure_rx_shards(unsigned shards, Time wakeup_cpu);
+
   sim::Simulation& sim_;
   Node& node_;
   Receiver& rx_;
   std::string name_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  std::unique_ptr<RxShards> rx_shards_;
   unsigned rx_connections_ = 0;
+  std::uint64_t next_rx_index_ = 0;  // stable per-endpoint connection index
   std::uint64_t delivered_ = 0;
   bool blackholed_ = false;
   std::uint64_t blackholed_msgs_ = 0;

@@ -1,0 +1,69 @@
+#include "net/shard.h"
+
+namespace afc::net {
+
+namespace {
+/// splitmix64 finalizer — spreads consecutive registration indices across
+/// shards without the clustering a bare modulo would give.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+RxShards::RxShards(Messenger& owner, unsigned shards, Time wakeup_cpu)
+    : owner_(owner), wakeup_cpu_(wakeup_cpu) {
+  queues_.reserve(shards);
+  for (unsigned s = 0; s < shards; s++) {
+    queues_.push_back(std::make_unique<sim::Channel<Item>>(owner.simulation()));
+    sim::spawn(worker(s));
+  }
+}
+
+RxShards::~RxShards() = default;
+
+unsigned RxShards::shard_of(std::uint64_t rx_index) const {
+  return unsigned(mix64(rx_index) % queues_.size());
+}
+
+void RxShards::push(unsigned shard, Connection* conn, Frame f) {
+  // Unbounded single-consumer queue: try_push only fails after close(),
+  // matching the messenger's post-close send semantics (frames vanish).
+  queues_[shard]->try_push(Item{conn, std::move(f)});
+}
+
+void RxShards::close() {
+  for (auto& q : queues_) q->close();
+}
+
+std::size_t RxShards::depth_hwm() const {
+  std::size_t hwm = 0;
+  for (const auto& q : queues_) hwm = std::max(hwm, q->max_depth());
+  return hwm;
+}
+
+sim::CoTask<void> RxShards::worker(unsigned shard) {
+  auto& q = *queues_[shard];
+  for (;;) {
+    auto batch = co_await q.pop_all();
+    if (batch.empty()) break;  // closed and drained
+    wakeups_++;
+    // One wakeup pays one `shard_wakeup_cpu`, however many frames it drains
+    // — the amortization that replaces the per-connection receive tax. A
+    // blackholed (crashed) endpoint charges nothing: dead processes do no
+    // work, and deliver_frame() below discards each frame the same way.
+    if (!owner_.blackholed()) {
+      co_await owner_.node().cpu().consume(wakeup_cpu_);
+    }
+    for (auto& item : batch) {
+      frames_++;
+      // Sequential delivery preserves per-connection FIFO; a receiver that
+      // backpressures here stalls the shard, not just one connection.
+      co_await item.conn->deliver_frame(std::move(item.frame), /*via_shard=*/true);
+    }
+  }
+}
+
+}  // namespace afc::net

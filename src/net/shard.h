@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/messenger.h"
+#include "sim/channel.h"
+
+namespace afc::net {
+
+/// Sharded dispatch for a receiving endpoint (the AsyncMessenger model that
+/// replaced SimpleMessenger): N shard workers instead of one receive
+/// pipeline per connection. Every connection maps to one shard by a stable
+/// hash of its per-endpoint registration index, so all of a connection's
+/// frames funnel through one single-consumer queue — per-connection FIFO
+/// order is preserved by construction. The O(rx_connections)
+/// `per_conn_recv_cpu` context-switch tax disappears; in its place each
+/// worker charges `shard_wakeup_cpu` once per wakeup, amortized over every
+/// frame the wakeup drains. A receiver that suspends in on_message() stalls
+/// its whole shard (all connections hashed there), which is the honest cost
+/// of the N-reactor design.
+class RxShards {
+ public:
+  RxShards(Messenger& owner, unsigned shards, Time wakeup_cpu);
+  ~RxShards();
+  RxShards(const RxShards&) = delete;
+  RxShards& operator=(const RxShards&) = delete;
+
+  unsigned shard_count() const { return unsigned(queues_.size()); }
+
+  /// Stable connection→shard mapping from the endpoint's registration index.
+  unsigned shard_of(std::uint64_t rx_index) const;
+
+  /// Hand a frame from `conn`'s sender pipeline to its shard queue.
+  void push(unsigned shard, Connection* conn, Frame f);
+
+  /// Close every shard queue; workers exit once drained.
+  void close();
+
+  std::uint64_t wakeups() const { return wakeups_; }
+  std::uint64_t frames() const { return frames_; }
+  /// Deepest any shard queue ever got (backlog high-water mark).
+  std::size_t depth_hwm() const;
+
+ private:
+  struct Item {
+    Connection* conn = nullptr;
+    Frame frame;
+  };
+
+  sim::CoTask<void> worker(unsigned shard);
+
+  Messenger& owner_;
+  Time wakeup_cpu_;
+  std::vector<std::unique_ptr<sim::Channel<Item>>> queues_;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace afc::net

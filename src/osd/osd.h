@@ -92,6 +92,7 @@ class Osd : public net::Receiver {
 
   std::uint32_t id() const { return id_; }
   net::Messenger& messenger() { return msgr_; }
+  const net::Messenger& messenger() const { return msgr_; }
   net::Node& node() { return node_; }
   const core::Profile& profile() const { return profile_; }
 

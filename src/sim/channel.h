@@ -56,6 +56,19 @@ class Channel {
     co_return std::optional<T>(std::move(v));
   }
 
+  /// Blocking drain: suspends until at least one item is queued (or the
+  /// channel closes), then returns everything queued at that moment. One
+  /// wakeup serves the whole backlog — the sharded-dispatch receive model,
+  /// where a shard worker amortizes its wakeup cost over every frame that
+  /// arrived while it slept. An empty result means closed-and-drained.
+  CoTask<std::deque<T>> pop_all() {
+    while (q_.empty() && !closed_) co_await not_empty_.wait();
+    std::deque<T> out;
+    out.swap(q_);
+    if (!out.empty()) not_full_.notify_all();
+    co_return out;
+  }
+
   /// Drain everything currently queued without blocking.
   std::deque<T> drain() {
     std::deque<T> out;

@@ -95,7 +95,7 @@ TEST(HealthReport, ContainsEverySubsystem) {
   cluster.simulation().run_until(5 * kSecond);
   const auto report = core::health_report(cluster);
   for (const char* marker : {"cluster health", "node.0", "osd.0", "journal:", "throttles:",
-                             "filestore:", "kv:", "dout:", "meta-cache"}) {
+                             "filestore:", "kv:", "dout:", "meta-cache", "msgr:"}) {
     EXPECT_NE(report.find(marker), std::string::npos) << marker;
   }
   const auto summary = core::health_summary(cluster);
