@@ -44,6 +44,17 @@ python3 -m json.tool "$SMOKE_JSON" > /dev/null
 echo "perf-smoke OK (sharded+batched >= community; $SMOKE_JSON valid)"
 
 echo
+echo "=== QoS isolation smoke (fig14 noisy neighbor, open-loop engine) ==="
+# The harness itself is the gate: it exits non-zero unless the well-behaved
+# tenant's p99 under a flood stays <= 2x its solo p99 with QoS on, AND the
+# QoS-off run demonstrably degrades (the flood must actually hurt).
+QOS_JSON="$BUILD_DIR/bench_qos_smoke.json"
+rm -f "$QOS_JSON"
+AFC_BENCH_JSON="$QOS_JSON" "$BUILD_DIR/bench/fig14_qos" --smoke
+python3 -m json.tool "$QOS_JSON" > /dev/null
+echo "qos-smoke OK (steady p99 bounded under flood; $QOS_JSON valid)"
+
+echo
 echo "=== transport byte-identity (all switches off == explicit community rung) ==="
 # The default-constructed net config IS the community rung; forcing it via
 # the env override must not change a byte of the paper figures.

@@ -36,6 +36,7 @@
 #include "kv/db.h"
 #include "net/messenger.h"
 #include "osd/osd.h"
+#include "osd/qos.h"
 #include "rt/arena.h"
 #include "rt/async_logger.h"
 #include "rt/completion_batcher.h"
@@ -48,3 +49,6 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "solidfire/solidfire.h"
+#include "workload/arrival.h"
+#include "workload/engine.h"
+#include "workload/population.h"

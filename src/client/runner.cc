@@ -62,11 +62,12 @@ sim::CoTask<void> VmClient::on_message(net::Message m) {
 
 sim::CoTask<VmClient::PendingOp> VmClient::issue(bool is_write, std::uint64_t image_off,
                                                  std::uint64_t len, bool want_data,
-                                                 Payload payload) {
+                                                 Payload payload, std::uint32_t tenant) {
   const std::uint64_t span = is_write ? payload.size() : len;
   const RbdImage::Mapping head = image_.map(image_off);
   if (span <= head.length) {
-    co_return co_await issue_one(is_write, image_off, len, want_data, std::move(payload));
+    co_return co_await issue_one(is_write, image_off, len, want_data, std::move(payload),
+                                 tenant);
   }
   // Striping: split into per-object sub-ops and join (KRBD behaviour). The
   // sub-ops run concurrently; the parent op completes when all do.
@@ -80,7 +81,7 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue(bool is_write, std::uint64_t im
     const std::uint64_t chunk = std::min(remaining, m.length);
     Payload piece;
     if (is_write) piece = payload.slice(off - image_off, chunk);
-    auto p = co_await issue_one(is_write, off, chunk, want_data, std::move(piece));
+    auto p = co_await issue_one(is_write, off, chunk, want_data, std::move(piece), tenant);
     agg.ok = agg.ok && p.ok;
     agg.data_len += p.data_len;
     if (want_data) {
@@ -98,7 +99,7 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue(bool is_write, std::uint64_t im
 
 sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_t image_off,
                                                      std::uint64_t len, bool want_data,
-                                                     Payload payload) {
+                                                     Payload payload, std::uint32_t tenant) {
   const RbdImage::Mapping m = image_.map(image_off);
   ops_begun_++;
   PendingOp p{};
@@ -107,6 +108,7 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
     auto msg = std::make_shared<osd::ClientIoMsg>();
     msg->op_id = (client_id_ << 24) | next_seq_++;
     msg->client_id = client_id_;
+    msg->tenant = tenant;
     msg->oid.name = m.object_name;
     msg->oid.pg = cmap_.pg_of(m.object_name);
     msg->pg = msg->oid.pg;
@@ -211,12 +213,12 @@ sim::CoTask<void> VmClient::io_loop(WorkloadSpec spec, Time stop_at, RunStats* s
       const std::uint64_t seed =
           spec.verify ? stable_seed(off) : (client_id_ << 40) ^ (issued_ * 0x9e37ull) ^ off;
       auto p = co_await issue(true, off, spec.block_size, false,
-                              Payload::pattern(spec.block_size, seed));
+                              Payload::pattern(spec.block_size, seed), tenant_);
       (void)p;
       if (spec.verify) written_offsets_.insert(off);
     } else {
       const bool check = spec.verify && written_offsets_.count(off) != 0;
-      auto p = co_await issue(false, off, spec.block_size, check, Payload{});
+      auto p = co_await issue(false, off, spec.block_size, check, Payload{}, tenant_);
       if (check && sink != nullptr) {
         const auto expected = Payload::pattern(spec.block_size, stable_seed(off));
         if (!p.ok || !p.data.has_value() ||
@@ -236,17 +238,27 @@ void VmClient::start(const WorkloadSpec& spec, Time stop_at, RunStats* sink) {
 }
 
 sim::CoTask<bool> VmClient::write_once(std::uint64_t image_off, Payload data) {
-  auto p = co_await issue(true, image_off, data.size(), false, std::move(data));
+  auto p = co_await issue(true, image_off, data.size(), false, std::move(data), tenant_);
   co_return p.ok;
 }
 
 sim::CoTask<VmClient::ReadOnce> VmClient::read_once(std::uint64_t image_off,
                                                     std::uint64_t len) {
-  auto p = co_await issue(false, image_off, len, true, Payload{});
+  auto p = co_await issue(false, image_off, len, true, Payload{}, tenant_);
   ReadOnce out;
   out.ok = p.ok;
   if (p.data.has_value()) out.data = std::move(*p.data);
   co_return out;
+}
+
+sim::CoTask<bool> VmClient::submit_io(bool is_write, std::uint64_t image_off,
+                                      std::uint64_t len, std::uint32_t tenant) {
+  Payload payload;
+  if (is_write) {
+    payload = Payload::pattern(len, (client_id_ << 40) ^ (issued_ * 0x9e37ull) ^ image_off);
+  }
+  auto p = co_await issue(is_write, image_off, len, false, std::move(payload), tenant);
+  co_return p.ok;
 }
 
 }  // namespace afc::client

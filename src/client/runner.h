@@ -56,6 +56,10 @@ class VmClient : public net::Receiver {
   /// Client-side CPU charged per I/O (fio + KRBD + dispatch).
   void set_op_cpu(Time cpu) { op_cpu_ = cpu; }
 
+  /// QoS tenant class stamped on every op this VM issues (0 = default
+  /// profile at the OSD). The open-loop engine overrides per-op instead.
+  void set_tenant(std::uint32_t tenant) { tenant_ = tenant; }
+
   /// Per-op timeout + resubmit (librados-style): if no reply arrives within
   /// `timeout`, abandon the attempt, back off exponentially and resubmit as
   /// a *fresh* op (new op id, primary recomputed from the current cluster
@@ -77,6 +81,12 @@ class VmClient : public net::Receiver {
   // crosses object boundaries is striped into per-object sub-ops, exactly
   // like KRBD.
   sim::CoTask<bool> write_once(std::uint64_t image_off, Payload data);
+
+  /// Open-loop entry used by workload::OpenLoopEngine: issue one I/O stamped
+  /// with the given QoS tenant class and await its resolution. Writes carry
+  /// a deterministic (non-verify) pattern payload.
+  sim::CoTask<bool> submit_io(bool is_write, std::uint64_t image_off, std::uint64_t len,
+                              std::uint32_t tenant);
   struct ReadOnce {
     bool ok = false;
     std::vector<std::uint8_t> data;
@@ -105,10 +115,10 @@ class VmClient : public net::Receiver {
   /// Issue one I/O and wait for its completion; returns the filled pending
   /// record. `payload` is the write body (ignored for reads).
   sim::CoTask<PendingOp> issue(bool is_write, std::uint64_t image_off, std::uint64_t len,
-                               bool want_data, Payload payload);
+                               bool want_data, Payload payload, std::uint32_t tenant);
   /// One per-object sub-op (image_off..+len must not cross an object).
   sim::CoTask<PendingOp> issue_one(bool is_write, std::uint64_t image_off, std::uint64_t len,
-                                   bool want_data, Payload payload);
+                                   bool want_data, Payload payload, std::uint32_t tenant);
   std::uint64_t stable_seed(std::uint64_t image_off) const;
 
   sim::Simulation& sim_;
@@ -117,6 +127,7 @@ class VmClient : public net::Receiver {
   std::uint64_t client_id_;
   Rng rng_;
   Time op_cpu_ = 0;
+  std::uint32_t tenant_ = 0;
   net::Messenger msgr_;
   std::unordered_map<std::uint32_t, net::Connection*> osd_conns_;
   std::unordered_map<std::uint64_t, PendingOp*> pending_;

@@ -32,6 +32,7 @@ inline constexpr const char* kClientIo = "client.io";             // submit → 
 inline constexpr const char* kNetWire = "net.wire";               // messenger send → delivery
 inline constexpr const char* kNetBatch = "net.batch";             // egress batcher: enqueue → frame flush
 inline constexpr const char* kDispatchThrottle = "osd.dispatch.throttle";  // client-message cap wait
+inline constexpr const char* kQosQueue = "osd.qos.queue";          // dmClock tenant-queue wait
 inline constexpr const char* kPgLockWait = "osd.pg_lock.wait";    // PG lock / pending-queue wait
 inline constexpr const char* kJournalThrottle = "osd.journal.throttle";    // fs/journal throttles + reserve
 inline constexpr const char* kJournalWrite = "journal.write";     // submit → durable on NVRAM

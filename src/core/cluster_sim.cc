@@ -50,6 +50,9 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
       std::fprintf(stderr, "AFC_NET_TRANSPORT: unknown rung '%s' (ignored)\n", t);
     }
   }
+  // Pool-level QoS plumbing: the cluster-wide TenantProfile table becomes
+  // every OSD's scheduler config (add_node() inherits it the same way).
+  cfg_.osd.qos = cfg_.qos;
   cfg_.ssd.sustained = cfg_.sustained;
   cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
   if (cfg_.sustained) {
@@ -165,6 +168,11 @@ RunResult ClusterSim::run(const client::WorkloadSpec& spec) {
   r.read_series = stats.read_series;
   r.verify_failures = stats.verify_failures;
   collect_osd_stats(r);
+  report_observability();
+  return r;
+}
+
+void ClusterSim::report_observability() {
   if (sim_.profiling_enabled()) {
     Counters prof;
     sim_.profile_into(prof);
@@ -180,7 +188,6 @@ RunResult ClusterSim::run(const client::WorkloadSpec& spec) {
                  static_cast<unsigned long long>(tracer_->mismatched()), path.c_str(),
                  ok ? "" : " (WRITE FAILED)");
   }
-  return r;
 }
 
 void ClusterSim::collect_osd_stats(RunResult& r) const {
@@ -203,6 +210,14 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
     r.journal_torn_tails += o->counters().get("osd.journal.torn_tails");
     r.journal_crc_failures += o->counters().get("osd.journal.crc_failures");
     r.scrub_objects_repaired += o->counters().get("osd.scrub_objects_repaired");
+    if (const auto* qos = o->qos(); qos != nullptr) {
+      r.qos_enqueued += qos->stats().enqueued;
+      r.qos_dispatched += qos->stats().dispatched;
+      r.qos_reservation_grants += qos->stats().reservation_grants;
+      r.qos_weight_grants += qos->stats().weight_grants;
+      r.qos_limit_deferrals += qos->stats().limit_deferrals;
+      r.qos_queue_hwm = std::max(r.qos_queue_hwm, qos->stats().depth_hwm);
+    }
     for (unsigned s = 0; s < osd::kStageCount; s++) stage_merged[s].merge(o->stage_delta(s));
     total_merged.merge(o->write_total_hist());
   }

@@ -49,6 +49,11 @@ struct ClusterConfig {
   std::uint64_t image_size = 20 * kGiB;  // per VM block device
   std::uint64_t seed = 42;
 
+  /// Per-tenant/per-pool QoS (dmClock at every OSD), declared once at
+  /// cluster level — the pool's TenantProfile table — and plumbed into each
+  /// OSD the cluster builds (including nodes added later). Off by default.
+  osd::QosConfig qos;
+
   Profile profile;
   osd::OsdConfig osd;
   dev::SsdModel::Config ssd;
@@ -111,6 +116,13 @@ struct RunResult {
   std::uint64_t net_nagle_stalls = 0;
   std::uint64_t net_shard_wakeups = 0;
   std::uint64_t net_shard_depth_hwm = 0;
+  // QoS scheduler evidence (all zero when ClusterConfig::qos is disabled).
+  std::uint64_t qos_enqueued = 0;
+  std::uint64_t qos_dispatched = 0;
+  std::uint64_t qos_reservation_grants = 0;
+  std::uint64_t qos_weight_grants = 0;
+  std::uint64_t qos_limit_deferrals = 0;
+  std::uint64_t qos_queue_hwm = 0;  // deepest tenant-queue backlog, any OSD
 };
 
 /// Builds a simulated Ceph cluster (community or AFCeph per the profile)
@@ -175,6 +187,12 @@ class ClusterSim {
 
   /// Collect OSD-side aggregates into `r` (also done by run()).
   void collect_osd_stats(RunResult& r) const;
+
+  /// Flush the env-owned observability instruments (AFC_SIM_PROFILE report,
+  /// AFC_SIM_TRACE Chrome-JSON export) to stderr/disk. run() calls this;
+  /// custom drivers that bypass run() — e.g. workload::OpenLoopEngine —
+  /// call it once their drive is complete. No-op when neither is enabled.
+  void report_observability();
 
  private:
   /// Recompute acting sets against `old_acting` and backfill newcomers.

@@ -26,6 +26,7 @@ enum MsgType : int {
 struct ClientIoMsg : net::MsgBody {
   std::uint64_t op_id = 0;
   std::uint64_t client_id = 0;
+  std::uint32_t tenant = 0;  // QoS tenant class (0 = default profile)
   std::uint32_t pg = 0;
   fs::ObjectId oid;
   std::uint64_t offset = 0;

@@ -77,6 +77,17 @@ Osd::Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
     sim::spawn(finisher_loop());
   }
   for (unsigned a = 0; a < cfg_.apply_threads; a++) sim::spawn(apply_loop());
+  if (cfg_.qos.enabled) {
+    qos_ = std::make_unique<QosScheduler>(
+        sim_, cfg_.qos, [this](WorkItem item, Time enqueued_at) {
+          if (auto* tr = trace::Collector::active();
+              tr != nullptr && item.op->span.valid() && sim_.now() > enqueued_at) {
+            tr->complete(item.op->span, tr->stage_id(stage::kQosQueue), enqueued_at,
+                         sim_.now());
+          }
+          sim::spawn(qos_admit(std::move(item)));
+        });
+  }
 }
 
 Osd::~Osd() = default;
@@ -132,6 +143,33 @@ sim::CoTask<void> Osd::on_message(net::Message m) {
 
 sim::CoTask<void> Osd::dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
                                           net::Connection* conn) {
+  if (qos_ != nullptr) {
+    // QoS path: decode and classify in dispatch context, then park the op in
+    // its tenant's dmClock queue. The message throttles move downstream
+    // (qos_admit) — a flooding tenant's backlog must wait in *its* queue,
+    // not exhaust the global message cap and stall every connection.
+    co_await charge_cpu(cfg_.dispatch_cpu, true);
+    auto op = std::make_shared<OpCtx>();
+    op->msg = msg;
+    op->reply_conn = conn;
+    op->stamp(kStRecv, sim_.now());
+    if (auto* tr = trace::Collector::active()) {
+      op->span = trace::Span{msg->op_id, trace::osd_track(id_)};
+      tr->begin(op->span, tr->stage_id(msg->is_write ? stage::kWriteOp : stage::kReadOp),
+                sim_.now());
+    }
+    inflight_[msg->op_id] = op;
+    if (profile_.ordered_acks && msg->is_write) {
+      ack_state_[msg->client_id].outstanding.insert(msg->op_id);
+    }
+    WorkItem item;
+    item.kind = WorkItem::kClientOp;
+    item.pg = msg->pg;
+    item.op = std::move(op);
+    const std::uint64_t bytes = msg->is_write ? msg->data.size() : msg->read_len;
+    qos_->enqueue(std::move(item), msg->tenant, bytes);
+    co_return;
+  }
   const Time throttle_t0 = sim_.now();
   // Messenger dispatch throttle: suspending here stalls this connection's
   // delivery pipeline (osd_client_message_cap backpressure).
@@ -161,6 +199,23 @@ sim::CoTask<void> Osd::dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
   item.pg = msg->pg;
   item.op = std::move(op);
   shard_push(std::move(item));
+}
+
+sim::CoTask<void> Osd::qos_admit(WorkItem item) {
+  ClientIoMsg& msg = *item.op->msg;
+  const Time throttle_t0 = sim_.now();
+  co_await throttles_.messages.acquire(1);
+  co_await throttles_.message_bytes.acquire(msg.data.size() + 150);
+  if (auto* tr = trace::Collector::active();
+      tr != nullptr && item.op->span.valid() && sim_.now() > throttle_t0) {
+    tr->complete(item.op->span, tr->stage_id(stage::kDispatchThrottle), throttle_t0,
+                 sim_.now());
+  }
+  shard_push(std::move(item));
+}
+
+void Osd::qos_op_done() {
+  if (qos_ != nullptr) qos_->op_done();
 }
 
 sim::CoTask<void> Osd::dispatch_rep_reply(std::shared_ptr<RepReplyMsg> msg) {
@@ -590,6 +645,7 @@ void Osd::fail_op(OpRef op) {
   ClientIoMsg& msg = *op->msg;
   throttles_.messages.release(1);
   throttles_.message_bytes.release(msg.data.size() + 150);
+  qos_op_done();
   inflight_.erase(msg.op_id);
   if (profile_.ordered_acks && msg.is_write) {
     // Drop the failed op from the ordered-ack ledger, then drain any acks it
@@ -802,6 +858,7 @@ sim::CoTask<void> Osd::process_client_read(WorkItem& item) {
 
   throttles_.messages.release(1);
   throttles_.message_bytes.release(msg.data.size() + 150);
+  qos_op_done();
   inflight_.erase(msg.op_id);
 
   net::Message wire;
@@ -878,6 +935,7 @@ void Osd::send_reply_message(OpRef& op) {
 
   throttles_.messages.release(1);
   throttles_.message_bytes.release(msg.data.size() + 150);
+  qos_op_done();
   inflight_.erase(msg.op_id);
 
   auto reply = std::make_shared<IoReplyMsg>();
@@ -971,6 +1029,9 @@ sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
 void Osd::on_crash() {
   inflight_.clear();
   ack_state_.clear();
+  // Ops parked in the QoS queues were only in this daemon's RAM; zombies
+  // resolving after the crash must not underflow the fresh window either.
+  if (qos_ != nullptr) qos_->reset();
 }
 
 sim::CoTask<void> Osd::on_restart() {

@@ -15,6 +15,7 @@
 #include "osd/meta_cache.h"
 #include "osd/op.h"
 #include "osd/pg.h"
+#include "osd/qos.h"
 #include "osd/throttle_set.h"
 
 namespace afc::osd {
@@ -64,6 +65,12 @@ struct OsdConfig {
   /// seed behaviour: no timer events are ever scheduled).
   Time rep_timeout = 0;
   unsigned rep_retries = 2;
+
+  /// Per-tenant dmClock QoS in front of OP_WQ. Disabled by default: the
+  /// scheduler is not constructed and the dispatch path is untouched.
+  /// ClusterConfig::qos is the cluster-level (pool) declaration; ClusterSim
+  /// plumbs it here for every OSD it builds.
+  QosConfig qos;
 };
 
 /// One Ceph OSD daemon: messenger dispatch → sharded OP_WQ → PG (lock or
@@ -139,6 +146,9 @@ class Osd : public net::Receiver {
   ThrottleSet& throttles() { return throttles_; }
   MetaCache& meta_cache() { return meta_cache_; }
   Counters& counters() { return counters_; }
+  /// The dmClock scheduler, or nullptr when QoS is disabled.
+  QosScheduler* qos() { return qos_.get(); }
+  const QosScheduler* qos() const { return qos_.get(); }
 
   const Histogram& stage_delta(unsigned stage) const { return stage_hist_[stage]; }
   const Histogram& write_total_hist() const { return write_total_; }
@@ -156,6 +166,11 @@ class Osd : public net::Receiver {
                                        net::Connection* conn);
   sim::CoTask<void> dispatch_rep_reply(std::shared_ptr<RepReplyMsg> msg);
   void shard_push(WorkItem item);
+  /// QoS path only: acquire the message throttles a dispatched op skipped
+  /// (they are held until resolution, like the seed path), then shard_push.
+  sim::CoTask<void> qos_admit(WorkItem item);
+  /// An op resolved (ack / read reply / failure): free its QoS window slot.
+  void qos_op_done();
 
   // --- OP_WQ ------------------------------------------------------------
   sim::CoTask<void> worker_loop(unsigned shard);
@@ -245,6 +260,7 @@ class Osd : public net::Receiver {
   fs::Journal journal_;
   MetaCache meta_cache_;
 
+  std::unique_ptr<QosScheduler> qos_;  // null unless cfg_.qos.enabled
   std::unordered_map<std::uint32_t, std::unique_ptr<Pg>> pgs_;
   std::unordered_map<std::uint32_t, net::Connection*> peers_;
   std::vector<std::unique_ptr<sim::Channel<WorkItem>>> shard_queues_;

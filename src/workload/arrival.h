@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace afc::workload {
+
+/// Shape of one open-loop arrival process. All three kinds are Poisson at
+/// heart — exponential gaps — with an optionally time-varying rate:
+///
+///   kPoisson   homogeneous: rate(t) = rate
+///   kBursty    deterministic on/off phases: rate * burst_factor while a
+///              phase of length burst_on is active, rate otherwise
+///   kDiurnal   sinusoidal day curve compressed to simulation scale:
+///              rate * (1 + diurnal_amplitude * sin(2*pi*t / diurnal_period))
+///
+/// See docs/WORKLOADS.md for the math and the seeding contract.
+struct ArrivalConfig {
+  enum class Kind { kPoisson, kBursty, kDiurnal };
+  Kind kind = Kind::kPoisson;
+  double rate = 1000.0;  // ops/sec (base rate for the modulated kinds)
+
+  // kBursty
+  double burst_factor = 8.0;
+  Time burst_on = 50 * kMillisecond;
+  Time burst_off = 200 * kMillisecond;
+
+  // kDiurnal
+  Time diurnal_period = 2 * kSecond;
+  double diurnal_amplitude = 0.8;  // in [0, 1)
+
+  /// Instantaneous rate at absolute simulation time `t` (ops/sec).
+  double rate_at(Time t) const;
+  /// Upper bound of rate_at over all t — the thinning envelope.
+  double peak_rate() const;
+};
+
+/// Samples successive arrival instants of the configured process by
+/// Lewis-Shedler thinning: candidate gaps are exponential at the peak rate,
+/// accepted with probability rate(t)/peak. Deterministic given (config,
+/// seed): the sequence of next() calls from a fresh instance is a pure
+/// function of both, independent of anything else in the simulation — the
+/// engine's byte-identical-arrivals contract hangs on this.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t seed);
+
+  /// The first arrival instant strictly derived from (and >= ) `now`.
+  Time next(Time now);
+
+  const ArrivalConfig& config() const { return cfg_; }
+
+ private:
+  ArrivalConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace afc::workload

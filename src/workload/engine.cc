@@ -1,0 +1,114 @@
+#include "workload/engine.h"
+
+namespace afc::workload {
+
+OpenLoopEngine::OpenLoopEngine(core::ClusterSim& cluster, OpenLoopSpec spec)
+    : cluster_(cluster), spec_(std::move(spec)) {
+  // One seed lineage per stream index, derived from the cluster seed the
+  // same way VM seeds are (a fixed odd stride), so stream S's arrival
+  // sequence is a pure function of (cluster seed, S) — never of the other
+  // streams or of completion order.
+  streams_.reserve(spec_.streams.size());
+  for (std::size_t i = 0; i < spec_.streams.size(); i++) {
+    streams_.emplace_back(spec_.streams[i],
+                          cluster_.config().seed + 104729 * (std::uint64_t(i) + 1));
+  }
+}
+
+sim::CoTask<void> OpenLoopEngine::arrival_loop(unsigned si, Time stop_at) {
+  auto& sim = cluster_.simulation();
+  Stream& st = streams_[si];
+  for (;;) {
+    const Time at = st.arrival.next(sim.now());
+    if (at >= stop_at) co_return;  // the loop stops issuing, like io_loop
+    if (at > sim.now()) co_await sim::delay(sim, at - sim.now(), "workload.arrival");
+    st.arrivals++;
+    const std::uint64_t tenant =
+        st.spec.population.tenants <= 1
+            ? 0
+            : st.tenant_rng.zipf(st.spec.population.tenants, st.spec.population.skew);
+    if (st.pop.on_arrival(tenant) == PopulationState::Admit::kRun) {
+      launch(si, tenant);
+    }
+    // kQueued: the backlog entry launches when an in-flight op of this
+    // tenant completes. kDropped: shed, accounted, gone.
+  }
+}
+
+void OpenLoopEngine::launch(unsigned si, std::uint64_t tenant) {
+  Stream& st = streams_[si];
+  const bool is_write =
+      st.spec.write_fraction >= 1.0 ||
+      (st.spec.write_fraction > 0.0 && st.key_rng.uniform() < st.spec.write_fraction);
+  const unsigned vm_idx = unsigned(st.cursor++ % cluster_.vm_count());
+  const std::uint64_t blocks = cluster_.vm(vm_idx).image().size() / st.spec.block_size;
+  const std::uint64_t block = st.spec.zipf_theta > 0.0
+                                  ? st.key_rng.zipf(blocks, st.spec.zipf_theta)
+                                  : st.key_rng.uniform_int(0, blocks - 1);
+  st.issued++;
+  sim::spawn(
+      op_task(si, tenant, is_write, vm_idx, block * st.spec.block_size, st.spec.block_size));
+}
+
+sim::CoTask<void> OpenLoopEngine::op_task(unsigned si, std::uint64_t tenant, bool is_write,
+                                          unsigned vm_idx, std::uint64_t off,
+                                          std::uint64_t len) {
+  auto& sim = cluster_.simulation();
+  Stream& st = streams_[si];
+  const Time issued_at = sim.now();
+  const bool ok =
+      co_await cluster_.vm(vm_idx).submit_io(is_write, off, len, st.spec.tenant);
+  const Time done = sim.now();
+  if (ok) {
+    st.ok++;
+  } else {
+    st.failed++;
+  }
+  if (issued_at >= window_start_ && done <= window_end_) {
+    st.lat.record(done - issued_at);
+    st.completed_in_window++;
+  }
+  // Hand the freed per-tenant slot to that tenant's backlog, if any.
+  if (st.pop.on_complete(tenant)) launch(si, tenant);
+}
+
+OpenLoopResult OpenLoopEngine::run() {
+  OpenLoopResult out;
+  if (ran_) return out;  // single-shot facade, like ClusterSim::run
+  ran_ = true;
+  auto& sim = cluster_.simulation();
+  const Time t0 = sim.now();
+  window_start_ = t0 + spec_.warmup;
+  window_end_ = window_start_ + spec_.runtime;
+  for (unsigned si = 0; si < streams_.size(); si++) {
+    sim::spawn(arrival_loop(si, window_end_));
+  }
+  sim.run_until(window_end_);
+
+  out.streams.reserve(streams_.size());
+  for (auto& st : streams_) {
+    StreamResult r;
+    r.name = st.spec.name;
+    r.tenant = st.spec.tenant;
+    r.arrivals = st.arrivals;
+    r.issued = st.issued;
+    r.ok = st.ok;
+    r.failed = st.failed;
+    r.dropped = st.pop.dropped();
+    r.queued = st.pop.queued();
+    r.tenants_touched = st.pop.tenants_touched();
+    r.completed_in_window = st.completed_in_window;
+    r.lat = st.lat;
+    r.iops = spec_.runtime == 0
+                 ? 0.0
+                 : double(st.completed_in_window) * double(kSecond) / double(spec_.runtime);
+    r.mean_ms = st.lat.mean_ms();
+    r.p99_ms = st.lat.p99_ms();
+    out.streams.push_back(std::move(r));
+  }
+  cluster_.collect_osd_stats(out.cluster);
+  cluster_.report_observability();
+  return out;
+}
+
+}  // namespace afc::workload

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/cluster_sim.h"
+#include "workload/arrival.h"
+#include "workload/population.h"
+
+namespace afc::workload {
+
+/// One open-loop traffic stream: an arrival process, the logical-tenant
+/// population it multiplexes, and the I/O mix each arrival issues. `tenant`
+/// is the OSD-side QoS class (TenantProfile id) stamped on every op of the
+/// stream — the stream IS the pool/tenant-class from the scheduler's point
+/// of view, while `population` models the millions of end tenants riding it.
+struct StreamSpec {
+  std::string name = "stream";
+  std::uint32_t tenant = 0;
+  ArrivalConfig arrival;
+  TenantPopulation population;
+  double write_fraction = 1.0;
+  std::uint64_t block_size = 4096;
+  double zipf_theta = 0.0;  // key skew over each image's blocks (0 = uniform)
+};
+
+struct OpenLoopSpec {
+  std::vector<StreamSpec> streams;
+  Time warmup = 300 * kMillisecond;
+  Time runtime = 1500 * kMillisecond;
+};
+
+/// Per-stream outcome. `arrivals` counts what the process generated;
+/// `issued` what passed per-tenant admission; dropped/queued the overflow
+/// split. Latency covers completions inside the measurement window only
+/// (fio semantics, same windowing as client::RunStats).
+struct StreamResult {
+  std::string name;
+  std::uint32_t tenant = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t tenants_touched = 0;
+  std::uint64_t completed_in_window = 0;
+  Histogram lat;
+  double iops = 0.0;
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct OpenLoopResult {
+  std::vector<StreamResult> streams;
+  /// OSD-side aggregates (ClusterSim::collect_osd_stats), including the QoS
+  /// scheduler evidence. Client-side fields are zero — the engine's own
+  /// per-stream results replace them.
+  core::RunResult cluster;
+};
+
+/// Open-loop traffic engine: the scalable alternative to per-VM closed
+/// loops. Arrivals come from seeded (non-)homogeneous Poisson processes;
+/// each admitted arrival becomes exactly one short-lived op coroutine, so
+/// in-flight work — not tenant count — bounds memory. Ops fan out over the
+/// cluster's existing VM clients round-robin (their images, connections and
+/// client-side CPU accounting are reused), stamped with the stream's QoS
+/// tenant class. Fully deterministic for a fixed (ClusterConfig::seed,
+/// spec): arrival instants and tenant ranks are drawn from streams forked
+/// per StreamSpec index, independent of completion order.
+class OpenLoopEngine {
+ public:
+  OpenLoopEngine(core::ClusterSim& cluster, OpenLoopSpec spec);
+
+  /// Drive the cluster to warmup + runtime and collect results (single use,
+  /// mirroring ClusterSim::run()).
+  OpenLoopResult run();
+
+ private:
+  struct Stream {
+    StreamSpec spec;
+    ArrivalProcess arrival;
+    PopulationState pop;
+    Rng tenant_rng;  // tenant-rank sampling (arrival-sequence determinism)
+    Rng key_rng;     // offsets + read/write mix (completion-order dependent)
+    std::uint64_t cursor = 0;  // round-robin VM pick
+    std::uint64_t arrivals = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t completed_in_window = 0;
+    Histogram lat;
+    Stream(StreamSpec s, std::uint64_t seed)
+        : spec(std::move(s)),
+          arrival(spec.arrival, seed),
+          pop(spec.population),
+          tenant_rng(seed ^ 0x7e64a7bull),
+          key_rng(seed ^ 0x1d10c2ull) {}
+  };
+
+  sim::CoTask<void> arrival_loop(unsigned si, Time stop_at);
+  void launch(unsigned si, std::uint64_t tenant);
+  sim::CoTask<void> op_task(unsigned si, std::uint64_t tenant, bool is_write,
+                            unsigned vm_idx, std::uint64_t off, std::uint64_t len);
+
+  core::ClusterSim& cluster_;
+  OpenLoopSpec spec_;
+  std::vector<Stream> streams_;
+  Time window_start_ = 0;
+  Time window_end_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace afc::workload

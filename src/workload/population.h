@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace afc::workload {
+
+/// The logical-tenant population multiplexed onto one arrival stream.
+/// Tenants are never materialized: each arrival samples a tenant rank from
+/// a Zipf(skew) distribution over [0, tenants), so a population of millions
+/// costs one map entry per tenant *actually touched*, not one coroutine per
+/// tenant. Per-tenant admission is a small in-flight cap; overload is
+/// either dropped (load-shedding client) or queued per tenant up to
+/// queue_cap (patient client) — both accounted, neither unbounded.
+struct TenantPopulation {
+  std::uint64_t tenants = 1;  // logical tenants behind this stream
+  double skew = 0.99;         // Zipf theta over tenant rank (0 = uniform)
+  unsigned inflight_cap = 8;  // per-tenant outstanding-op ceiling
+  enum class Overload { kDrop, kQueue };
+  Overload overload = Overload::kDrop;
+  unsigned queue_cap = 16;  // per-tenant backlog bound (kQueue only)
+};
+
+/// Sparse per-tenant admission state + overload accounting for one stream.
+class PopulationState {
+ public:
+  explicit PopulationState(const TenantPopulation& cfg) : cfg_(cfg) {}
+
+  enum class Admit { kRun, kQueued, kDropped };
+
+  /// An arrival sampled `tenant`: launch it, park it in the tenant's
+  /// backlog, or shed it.
+  Admit on_arrival(std::uint64_t tenant) {
+    T& t = state_[tenant];
+    if (t.inflight < cfg_.inflight_cap) {
+      t.inflight++;
+      return Admit::kRun;
+    }
+    if (cfg_.overload == TenantPopulation::Overload::kQueue && t.backlog < cfg_.queue_cap) {
+      t.backlog++;
+      queued_++;
+      return Admit::kQueued;
+    }
+    dropped_++;
+    return Admit::kDropped;
+  }
+
+  /// An admitted op for `tenant` resolved. Returns true when a queued
+  /// arrival inherits the freed slot (the caller launches it).
+  bool on_complete(std::uint64_t tenant) {
+    T& t = state_[tenant];
+    if (t.inflight > 0) t.inflight--;
+    if (t.backlog > 0) {
+      t.backlog--;
+      t.inflight++;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t tenants_touched() const { return state_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t queued() const { return queued_; }
+
+ private:
+  struct T {
+    unsigned inflight = 0;
+    unsigned backlog = 0;
+  };
+  TenantPopulation cfg_;
+  std::unordered_map<std::uint64_t, T> state_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t queued_ = 0;
+};
+
+}  // namespace afc::workload

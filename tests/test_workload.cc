@@ -1,0 +1,412 @@
+// Tests for the open-loop workload engine (src/workload/) and the dmClock
+// QoS scheduler (src/osd/qos.*): arrival-sequence determinism, tenant
+// population accounting, dmClock invariants under synthetic contention, and
+// the QoS-off byte-identity contract against the seed client path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster_sim.h"
+#include "osd/qos.h"
+#include "sim/simulation.h"
+#include "workload/arrival.h"
+#include "workload/engine.h"
+#include "workload/population.h"
+
+namespace afc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+std::vector<Time> sample_arrivals(const workload::ArrivalConfig& cfg, std::uint64_t seed,
+                                  int n) {
+  workload::ArrivalProcess p(cfg, seed);
+  std::vector<Time> out;
+  Time t = 0;
+  for (int i = 0; i < n; i++) {
+    t = p.next(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+TEST(Arrival, SameSeedByteIdenticalSequences) {
+  for (auto kind : {workload::ArrivalConfig::Kind::kPoisson,
+                    workload::ArrivalConfig::Kind::kBursty,
+                    workload::ArrivalConfig::Kind::kDiurnal}) {
+    workload::ArrivalConfig cfg;
+    cfg.kind = kind;
+    cfg.rate = 20000;
+    EXPECT_EQ(sample_arrivals(cfg, 42, 500), sample_arrivals(cfg, 42, 500));
+    EXPECT_NE(sample_arrivals(cfg, 42, 500), sample_arrivals(cfg, 43, 500));
+  }
+}
+
+TEST(Arrival, ArrivalsAreMonotoneAndFuture) {
+  workload::ArrivalConfig cfg;
+  cfg.kind = workload::ArrivalConfig::Kind::kBursty;
+  cfg.rate = 50000;
+  auto seq = sample_arrivals(cfg, 7, 1000);
+  for (std::size_t i = 1; i < seq.size(); i++) EXPECT_GT(seq[i], seq[i - 1]);
+}
+
+TEST(Arrival, PoissonMeanGapMatchesRate) {
+  workload::ArrivalConfig cfg;
+  cfg.rate = 10000;  // mean gap 100us
+  auto seq = sample_arrivals(cfg, 99, 20000);
+  const double mean_gap = double(seq.back() - seq.front()) / double(seq.size() - 1);
+  EXPECT_NEAR(mean_gap, 100.0 * kMicrosecond, 5.0 * kMicrosecond);
+}
+
+TEST(Arrival, BurstyRateEnvelope) {
+  workload::ArrivalConfig cfg;
+  cfg.kind = workload::ArrivalConfig::Kind::kBursty;
+  cfg.rate = 1000;
+  cfg.burst_factor = 8;
+  cfg.burst_on = 50 * kMillisecond;
+  cfg.burst_off = 200 * kMillisecond;
+  EXPECT_DOUBLE_EQ(cfg.rate_at(0), 8000);                      // burst phase
+  EXPECT_DOUBLE_EQ(cfg.rate_at(100 * kMillisecond), 1000);     // off phase
+  EXPECT_DOUBLE_EQ(cfg.rate_at(250 * kMillisecond), 8000);     // wraps
+  EXPECT_DOUBLE_EQ(cfg.peak_rate(), 8000);
+}
+
+TEST(Arrival, DiurnalRateEnvelope) {
+  workload::ArrivalConfig cfg;
+  cfg.kind = workload::ArrivalConfig::Kind::kDiurnal;
+  cfg.rate = 1000;
+  cfg.diurnal_amplitude = 0.8;
+  cfg.diurnal_period = 2 * kSecond;
+  EXPECT_DOUBLE_EQ(cfg.rate_at(0), 1000);  // sin(0) = 0
+  double lo = 1e18, hi = 0;
+  for (Time t = 0; t < 2 * kSecond; t += 10 * kMillisecond) {
+    lo = std::min(lo, cfg.rate_at(t));
+    hi = std::max(hi, cfg.rate_at(t));
+  }
+  EXPECT_NEAR(lo, 200, 10);
+  EXPECT_NEAR(hi, 1800, 10);
+  EXPECT_GE(cfg.peak_rate(), hi);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant population
+// ---------------------------------------------------------------------------
+
+TEST(Population, ZipfSkewConcentratesOnLowRanks) {
+  // Top-1% mass under theta=0.99 must far exceed the uniform 1%, and more
+  // skew means more concentration.
+  auto top1pct = [](double theta) {
+    Rng rng(7);
+    const std::uint64_t n = 100000;
+    std::uint64_t hot = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; i++) {
+      if (rng.zipf(n, theta) < n / 100) hot++;
+    }
+    return double(hot) / draws;
+  };
+  const double uniform = top1pct(0.0);
+  const double skewed = top1pct(0.99);
+  const double extreme = top1pct(1.2);
+  EXPECT_NEAR(uniform, 0.01, 0.005);
+  EXPECT_GT(skewed, 0.3);
+  EXPECT_GT(extreme, skewed);
+}
+
+TEST(Population, InflightCapDropsOverflow) {
+  workload::TenantPopulation cfg;
+  cfg.tenants = 10;
+  cfg.inflight_cap = 2;
+  cfg.overload = workload::TenantPopulation::Overload::kDrop;
+  workload::PopulationState pop(cfg);
+  using Admit = workload::PopulationState::Admit;
+  EXPECT_EQ(pop.on_arrival(5), Admit::kRun);
+  EXPECT_EQ(pop.on_arrival(5), Admit::kRun);
+  EXPECT_EQ(pop.on_arrival(5), Admit::kDropped);  // cap reached
+  EXPECT_EQ(pop.on_arrival(6), Admit::kRun);      // other tenants unaffected
+  EXPECT_EQ(pop.dropped(), 1u);
+  EXPECT_EQ(pop.tenants_touched(), 2u);
+  // Completion frees the slot; nothing queued, so nothing launches.
+  EXPECT_FALSE(pop.on_complete(5));
+  EXPECT_EQ(pop.on_arrival(5), Admit::kRun);
+}
+
+TEST(Population, QueueModeParksAndHandsOffSlots) {
+  workload::TenantPopulation cfg;
+  cfg.inflight_cap = 1;
+  cfg.queue_cap = 2;
+  cfg.overload = workload::TenantPopulation::Overload::kQueue;
+  workload::PopulationState pop(cfg);
+  using Admit = workload::PopulationState::Admit;
+  EXPECT_EQ(pop.on_arrival(0), Admit::kRun);
+  EXPECT_EQ(pop.on_arrival(0), Admit::kQueued);
+  EXPECT_EQ(pop.on_arrival(0), Admit::kQueued);
+  EXPECT_EQ(pop.on_arrival(0), Admit::kDropped);  // backlog bound
+  EXPECT_EQ(pop.queued(), 2u);
+  EXPECT_EQ(pop.dropped(), 1u);
+  EXPECT_TRUE(pop.on_complete(0));   // backlog entry inherits the slot
+  EXPECT_TRUE(pop.on_complete(0));   // second backlog entry
+  EXPECT_FALSE(pop.on_complete(0));  // backlog drained
+}
+
+// ---------------------------------------------------------------------------
+// dmClock scheduler invariants (synthetic server: window slots freed after a
+// fixed service time, so capacity = window / service well below demand).
+// ---------------------------------------------------------------------------
+
+struct QosHarness {
+  sim::Simulation sim;
+  osd::QosScheduler* sched = nullptr;
+  Time service = 1 * kMillisecond;
+
+  explicit QosHarness(osd::QosConfig cfg) {
+    cfg.enabled = true;
+    owned_ = std::make_unique<osd::QosScheduler>(
+        sim, std::move(cfg), [this](osd::WorkItem, Time) {
+          // Serve for `service`, then free the slot. Captures stay <= 48
+          // bytes and trivially copyable: one raw pointer.
+          QosHarness* self = this;
+          sim.schedule_after(
+              service, [self] { self->sched->op_done(); }, "test.qos.serve");
+        });
+    sched = owned_.get();
+  }
+
+  void backlog(std::uint32_t tenant, int n) {
+    for (int i = 0; i < n; i++) sched->enqueue(osd::WorkItem{}, tenant, 4096);
+  }
+
+ private:
+  std::unique_ptr<osd::QosScheduler> owned_;
+};
+
+TEST(Qos, ReservationHonoredBeforeWeightSharing) {
+  // Capacity: window 4 / 1ms service = 4000 ops/s. The reserved tenant
+  // (1000 iops floor, weight 1) shares with a weight-100 aggressor. Pure
+  // proportional sharing would give it ~40 ops/s; the reservation must pin
+  // it at ~1000 regardless.
+  osd::QosConfig cfg;
+  cfg.window = 4;
+  osd::TenantProfile reserved;
+  reserved.tenant = 1;
+  reserved.reservation_iops = 1000;
+  reserved.weight = 1;
+  osd::TenantProfile aggressor;
+  aggressor.tenant = 2;
+  aggressor.weight = 100;
+  cfg.tenants = {reserved, aggressor};
+
+  QosHarness h(cfg);
+  h.backlog(1, 2000);
+  h.backlog(2, 8000);
+  h.sim.run_until(1 * kSecond);
+
+  const std::uint64_t got_reserved = h.sched->dispatched(1);
+  const std::uint64_t got_aggr = h.sched->dispatched(2);
+  EXPECT_GE(got_reserved, 900u);   // floor honored (>= 0.9 * reservation * T)
+  EXPECT_GT(got_aggr, got_reserved);  // surplus still flows by weight
+  EXPECT_GT(h.sched->stats().reservation_grants, 0u);
+  EXPECT_GT(h.sched->stats().weight_grants, 0u);
+}
+
+TEST(Qos, LimitIsAHardCeiling) {
+  // Idle server (window 32, 1ms service => capacity far above the limit):
+  // the limited tenant still may not exceed rate*T + 1.
+  osd::QosConfig cfg;
+  cfg.window = 32;
+  osd::TenantProfile limited;
+  limited.tenant = 1;
+  limited.limit_iops = 500;
+  cfg.tenants = {limited};
+
+  QosHarness h(cfg);
+  h.backlog(1, 4000);
+  h.sim.run_until(1 * kSecond);
+
+  EXPECT_LE(h.sched->dispatched(1), 501u + 2u);
+  EXPECT_GE(h.sched->dispatched(1), 450u);  // and the limit is usable, not a stall
+  EXPECT_GT(h.sched->stats().limit_deferrals, 0u);
+}
+
+TEST(Qos, IdleCreditCappedAtOneOp) {
+  // A limited tenant that sat idle for half the run cannot burst its banked
+  // credit when it returns: over any interval T it stays <= rate*T + 1.
+  osd::QosConfig cfg;
+  cfg.window = 32;
+  osd::TenantProfile limited;
+  limited.tenant = 1;
+  limited.limit_iops = 1000;
+  cfg.tenants = {limited};
+
+  QosHarness h(cfg);
+  h.sim.run_until(500 * kMillisecond);  // tenant idle
+  h.backlog(1, 4000);
+  h.sim.run_until(1 * kSecond);  // active interval T = 0.5s
+
+  EXPECT_LE(h.sched->dispatched(1), 501u + 2u);
+}
+
+TEST(Qos, ReservationOnlyTenantGetsNoSurplus) {
+  // weight <= 0 + reservation = floor only: with an idle server the tenant
+  // is still paced at its reservation rate, never faster.
+  osd::QosConfig cfg;
+  cfg.window = 32;
+  osd::TenantProfile floor_only;
+  floor_only.tenant = 1;
+  floor_only.reservation_iops = 800;
+  floor_only.weight = 0;
+  cfg.tenants = {floor_only};
+
+  QosHarness h(cfg);
+  h.backlog(1, 4000);
+  h.sim.run_until(1 * kSecond);
+
+  EXPECT_LE(h.sched->dispatched(1), 801u + 2u);
+  EXPECT_GE(h.sched->dispatched(1), 700u);
+}
+
+TEST(Qos, ResetDropsParkedOps) {
+  osd::QosConfig cfg;
+  cfg.window = 1;
+  osd::TenantProfile t1;
+  t1.tenant = 1;
+  cfg.tenants = {t1};
+  QosHarness h(cfg);
+  h.backlog(1, 10);  // 1 dispatches, 9 park
+  EXPECT_EQ(h.sched->queued(), 9u);
+  h.sched->reset();
+  EXPECT_EQ(h.sched->queued(), 0u);
+  EXPECT_EQ(h.sched->in_flight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QoS off = seed path, byte for byte
+// ---------------------------------------------------------------------------
+
+core::ClusterConfig tiny_cluster(std::uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.profile = core::Profile::afceph();
+  cfg.osd_nodes = 2;
+  cfg.osds_per_node = 1;
+  cfg.client_nodes = 1;
+  cfg.vms = 2;
+  cfg.pg_num = 32;
+  cfg.replication = 2;
+  cfg.min_size = 1;
+  cfg.sustained = false;
+  cfg.image_size = 256 * kMiB;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Qos, DisabledConfigIsByteIdenticalToSeedPath) {
+  // Same seed, one cluster with a fully populated but *disabled* QoS config:
+  // the event streams must be identical (same executed-event count at the
+  // same final sim time) and the workload result equal.
+  auto spec = client::WorkloadSpec::rand_write(4096, 4);
+  spec.warmup = 50 * kMillisecond;
+  spec.runtime = 200 * kMillisecond;
+
+  core::ClusterSim plain(tiny_cluster(1234));
+  auto r1 = plain.run(spec);
+
+  core::ClusterConfig cfg = tiny_cluster(1234);
+  osd::TenantProfile p;
+  p.tenant = 1;
+  p.reservation_iops = 1000;
+  p.limit_iops = 2000;
+  cfg.qos.tenants = {p};
+  cfg.qos.enabled = false;  // the contract under test
+  core::ClusterSim gated(cfg);
+  auto r2 = gated.run(spec);
+
+  EXPECT_EQ(plain.simulation().executed_events(), gated.simulation().executed_events());
+  EXPECT_EQ(plain.simulation().now(), gated.simulation().now());
+  EXPECT_DOUBLE_EQ(r1.write_iops, r2.write_iops);
+  EXPECT_EQ(r2.qos_enqueued, 0u);
+  EXPECT_EQ(r2.qos_dispatched, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop engine end to end
+// ---------------------------------------------------------------------------
+
+workload::OpenLoopSpec small_open_loop() {
+  workload::OpenLoopSpec spec;
+  spec.warmup = 50 * kMillisecond;
+  spec.runtime = 300 * kMillisecond;
+  workload::StreamSpec s;
+  s.name = "s0";
+  s.tenant = 1;
+  s.arrival.rate = 3000;
+  s.population.tenants = 50000;
+  s.population.skew = 0.99;
+  s.population.inflight_cap = 4;
+  s.zipf_theta = 0.9;
+  spec.streams.push_back(s);
+  return spec;
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    core::ClusterSim cluster(tiny_cluster(77));
+    workload::OpenLoopEngine engine(cluster, small_open_loop());
+    auto r = engine.run();
+    return std::tuple(r.streams[0].arrivals, r.streams[0].issued, r.streams[0].ok,
+                      cluster.simulation().executed_events());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, PopulationMultiplexesWithoutMaterialization) {
+  core::ClusterSim cluster(tiny_cluster(5));
+  workload::OpenLoopEngine engine(cluster, small_open_loop());
+  auto r = engine.run();
+  const auto& s = r.streams[0];
+  EXPECT_GT(s.arrivals, 500u);
+  EXPECT_GT(s.ok, 0u);
+  EXPECT_EQ(s.failed, 0u);
+  // ~1k arrivals over 50k logical tenants: a sparse slice is touched, far
+  // fewer than the population, far more than a handful.
+  EXPECT_GT(s.tenants_touched, 100u);
+  EXPECT_LT(s.tenants_touched, s.arrivals);
+  EXPECT_EQ(s.issued + s.dropped, s.arrivals);  // kDrop accounting closes
+}
+
+TEST(Engine, DropAccountingUnderTinyCap) {
+  core::ClusterSim cluster(tiny_cluster(6));
+  auto spec = small_open_loop();
+  spec.streams[0].population.tenants = 1;  // one tenant, cap 1: mostly drops
+  spec.streams[0].population.inflight_cap = 1;
+  workload::OpenLoopEngine engine(cluster, spec);
+  auto r = engine.run();
+  const auto& s = r.streams[0];
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_EQ(s.issued + s.dropped, s.arrivals);
+  EXPECT_EQ(s.tenants_touched, 1u);
+}
+
+TEST(Engine, QosIntegrationDispatchesThroughScheduler) {
+  core::ClusterConfig cfg = tiny_cluster(9);
+  cfg.qos.enabled = true;
+  osd::TenantProfile p;
+  p.tenant = 1;
+  p.reservation_iops = 500;
+  p.weight = 2;
+  cfg.qos.tenants = {p};
+  core::ClusterSim cluster(cfg);
+  workload::OpenLoopEngine engine(cluster, small_open_loop());
+  auto r = engine.run();
+  EXPECT_GT(r.streams[0].ok, 0u);
+  EXPECT_GT(r.cluster.qos_enqueued, 0u);
+  EXPECT_EQ(r.cluster.qos_enqueued, r.cluster.qos_dispatched);  // drained
+}
+
+}  // namespace
+}  // namespace afc
