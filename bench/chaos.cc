@@ -66,8 +66,10 @@ struct RunDigest {
 /// via ClusterSim::run() — the sink must outlive the post-deadline drain
 /// (io_loops record their final op while the simulation finishes timeouts,
 /// retries and backfills).
-void drive_workload(core::ClusterSim& cluster, client::RunStats& stats) {
+void drive_workload(core::ClusterSim& cluster, client::RunStats& stats,
+                    double write_fraction = 1.0) {
   auto spec = client::WorkloadSpec::rand_write(4096, 4);
+  spec.write_fraction = write_fraction;
   spec.warmup = 100 * kMillisecond;
   spec.runtime = 900 * kMillisecond;
   stats.window_start = spec.warmup;
@@ -217,6 +219,83 @@ CorruptionDigest run_corruption(std::uint64_t seed) {
   return c;
 }
 
+/// The EC leg's observables: run invariants plus the reconstruction,
+/// rebuild and scrub-convergence evidence, compared across two runs.
+struct EcDigest {
+  RunDigest run;
+  std::uint64_t reconstruct_reads = 0;
+  std::uint64_t shards_rebuilt = 0;
+  std::uint64_t parity_mismatch = 0;
+  std::uint64_t detect_inconsistent = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t verify_inconsistent = 0;
+  std::uint64_t verify_missing = 0;
+  bool scrub_done = false;
+
+  bool operator==(const EcDigest&) const = default;
+};
+
+/// EC(4+2) soak: 8 OSDs, 6-wide stripes, mixed 70/30 write/read traffic.
+/// The plan walks the whole EC fault surface in disjoint windows: a crash
+/// mid-stripe (journal replay + rebuild-by-decode on return), a torn shard
+/// write, a partition making m=2 OSDs unreachable (degraded reads decode
+/// around them; writes ride the shard watchdog), an overlapping two-shard
+/// loss (reads still served from exactly k survivors), and a parity-shard
+/// bit flip after the drain for the scrub to find.
+EcDigest run_ec(std::uint64_t seed) {
+  core::ClusterConfig cfg = chaos_config();
+  cfg.osd_nodes = 8;
+  cfg.pg_num = 64;
+  cfg.ec_pool = true;
+  cfg.ec_k = 4;
+  cfg.ec_m = 2;
+  cfg.min_size = 0;              // EC default floor: k+1 durable shards
+  cfg.image_size = 32 * kMiB;    // small images: reads re-hit written blocks
+  cfg.seed = seed;
+  core::ClusterSim cluster(cfg);
+
+  fault::FaultPlan plan;
+  plan.crash_restart(300 * kMillisecond, 1, 150 * kMillisecond);
+  plan.torn_write(500 * kMillisecond, 3);
+  plan.restart(650 * kMillisecond, 3);
+  plan.link_partition(700 * kMillisecond, 4, fault::kAllPeers, 120 * kMillisecond);
+  plan.link_partition(700 * kMillisecond, 5, fault::kAllPeers, 120 * kMillisecond);
+  plan.crash_restart(950 * kMillisecond, 6, 120 * kMillisecond);
+  plan.crash_restart(950 * kMillisecond, 7, 120 * kMillisecond);
+  plan.bit_flip_parity(2 * kSecond, 2);
+  cluster.install_faults(plan);
+
+  client::RunStats stats;
+  drive_workload(cluster, stats, /*write_fraction=*/0.7);
+
+  EcDigest e;
+  e.run = collect_digest(cluster);
+  core::RunResult rr;
+  cluster.collect_osd_stats(rr);
+  e.reconstruct_reads = rr.ec_reconstruct_reads;
+  e.shards_rebuilt = rr.ec_shards_rebuilt;
+
+  sim::spawn_fn([&cluster, &e]() -> sim::CoTask<void> {
+    auto detect = co_await cluster.deep_scrub(/*repair=*/false);
+    e.detect_inconsistent = detect.inconsistent;
+    auto repair = co_await cluster.deep_scrub(/*repair=*/true);
+    e.repaired = repair.repaired;
+    auto verify = co_await cluster.deep_scrub(/*repair=*/false);
+    e.verify_inconsistent = verify.inconsistent;
+    e.verify_missing = verify.missing;
+    e.scrub_done = true;
+  });
+  cluster.simulation().run();
+
+  core::RunResult after;
+  cluster.collect_osd_stats(after);
+  e.parity_mismatch = after.ec_parity_mismatch;
+
+  cluster.close_all();
+  cluster.simulation().run();
+  return e;
+}
+
 int g_failures = 0;
 
 void expect(bool ok, const std::string& what) {
@@ -236,7 +315,7 @@ void check_invariants(const char* label, const RunDigest& d) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--leg=<empty|directed|random|corruption>` runs one leg (scripts/check.sh
+  // `--leg=<empty|directed|random|corruption|ec>` runs one leg (scripts/check.sh
   // uses this to give the sanitizer build separate, faster invocations);
   // no argument runs them all.
   std::string leg;
@@ -316,6 +395,40 @@ int main(int argc, char** argv) {
     expect(a.verify_inconsistent == 0 && a.verify_missing == 0,
            "corruption: re-scrub after repair must be clean");
     expect(a == b, "corruption plan: same seed must reproduce byte-identical digests");
+  }
+
+  // --- erasure-coded pool under the full fault stack ----------------------
+  if (runs("ec")) {
+    std::printf("\n[ec plan] 8 OSDs EC(4+2), 70/30 write/read\n");
+    const EcDigest a = run_ec(42);
+    const EcDigest b = run_ec(42);
+    std::printf("  events=%llu begun=%llu failed=%llu retries=%llu\n"
+                "  reconstruct_reads=%llu shards_rebuilt=%llu parity_mismatch=%llu\n"
+                "  scrub: inconsistent=%llu repaired=%llu after-repair inconsistent=%llu "
+                "missing=%llu\n",
+                (unsigned long long)a.run.events, (unsigned long long)a.run.begun,
+                (unsigned long long)a.run.failed, (unsigned long long)a.run.retries,
+                (unsigned long long)a.reconstruct_reads, (unsigned long long)a.shards_rebuilt,
+                (unsigned long long)a.parity_mismatch,
+                (unsigned long long)a.detect_inconsistent, (unsigned long long)a.repaired,
+                (unsigned long long)a.verify_inconsistent,
+                (unsigned long long)a.verify_missing);
+    // The replicated invariants hold verbatim: exactly-once ack-or-fail,
+    // nothing pending after the drain, and no ack ever went out with fewer
+    // than the floor of k+1 durable shards.
+    check_invariants("ec", a.run);
+    // Degraded reads decoded around missing shards, and every shard lost to
+    // a crash window was rebuilt by decode-from-peers.
+    expect(a.reconstruct_reads > 0, "ec: no degraded read was reconstructed");
+    expect(a.shards_rebuilt > 0, "ec: no shard was rebuilt by decode");
+    // The parity flip (and any torn stripe) is detected, repaired by
+    // reconstruction, and a re-scrub converges to zero findings.
+    expect(a.scrub_done, "ec: scrub pass did not finish");
+    expect(a.detect_inconsistent > 0, "ec: scrub must detect the parity flip");
+    expect(a.repaired > 0, "ec: scrub repair must reconstruct bad shards");
+    expect(a.verify_inconsistent == 0 && a.verify_missing == 0,
+           "ec: re-scrub after repair must be clean");
+    expect(a == b, "ec plan: same seed must reproduce byte-identical digests");
   }
 
   // --- randomized plans, each run twice for determinism -------------------

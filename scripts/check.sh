@@ -3,7 +3,8 @@
 # event-core microbenchmark, smoke-test the op tracer (including validating
 # the exported Chrome trace JSON), validate the committed BENCH_*.json perf
 # trajectory, run the transport perf-smoke (fig13 ladder + default-off
-# byte-identity), run the chaos fault-injection soak, re-run that soak under
+# byte-identity), run the QoS and EC smokes (fig14/fig15 gates), run the
+# chaos fault-injection soak, re-run that soak under
 # ASan+UBSan, then run the rt/ concurrency stress harness natively and under
 # ThreadSanitizer. Exits non-zero on the first failure.
 set -euo pipefail
@@ -55,6 +56,17 @@ python3 -m json.tool "$QOS_JSON" > /dev/null
 echo "qos-smoke OK (steady p99 bounded under flood; $QOS_JSON valid)"
 
 echo
+echo "=== EC vs replication smoke (fig15, healthy write p99 + degraded reads) ==="
+# The harness is the gate: EC(4+2) healthy 4K-write p99 must stay within 2x
+# of 3-replication's, and the degraded window must actually serve
+# reconstructed (decode-from-k) reads.
+EC_JSON="$BUILD_DIR/bench_ec_smoke.json"
+rm -f "$EC_JSON"
+AFC_BENCH_JSON="$EC_JSON" "$BUILD_DIR/bench/fig15_ec" --smoke
+python3 -m json.tool "$EC_JSON" > /dev/null
+echo "ec-smoke OK (EC write p99 bounded vs 3-rep; $EC_JSON valid)"
+
+echo
 echo "=== transport byte-identity (all switches off == explicit community rung) ==="
 # The default-constructed net config IS the community rung; forcing it via
 # the env override must not change a byte of the paper figures.
@@ -84,6 +96,12 @@ cmake --build "$ASAN_BUILD_DIR" -j "$(nproc)" --target chaos
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos" --leg=corruption
+# The EC leg next, same rationale: GF(256) encode/decode, shard gather and
+# parity scrub index into matrix/chunk buffers — exactly the code a bounds
+# bug would hide in.
+LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  "$ASAN_BUILD_DIR/bench/chaos" --leg=ec
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos"

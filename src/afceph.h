@@ -29,12 +29,16 @@
 #include "device/hdd.h"
 #include "device/nvram.h"
 #include "device/ssd.h"
+#include "ec/codec.h"
+#include "ec/gf256.h"
+#include "ec/layout.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "fs/filestore.h"
 #include "fs/journal.h"
 #include "kv/db.h"
 #include "net/messenger.h"
+#include "osd/ec_rebuild.h"
 #include "osd/osd.h"
 #include "osd/qos.h"
 #include "rt/arena.h"

@@ -14,4 +14,36 @@ std::uint32_t ClusterMap::pg_of(std::string_view object_name) const {
   return std::uint32_t(h & (pool_.pg_num - 1));
 }
 
+std::vector<std::uint32_t> ClusterMap::ec_remap(
+    std::uint32_t pg, const std::vector<std::uint32_t>& raw) const {
+  const unsigned width = pool_.ec_k + pool_.ec_m;
+  if (ec_assign_.empty()) ec_assign_.assign(pool_.pg_num, {});
+  auto& prev = ec_assign_[pg];
+  std::vector<std::uint32_t> next(width, kNoOsd);
+  std::vector<bool> used(raw.size(), false);
+  // Survivors keep their shard position: a shard object lives on one OSD,
+  // so reshuffling positions on every epoch bump would fabricate data loss.
+  if (!prev.empty()) {
+    for (unsigned p = 0; p < width && p < prev.size(); p++) {
+      if (prev[p] == kNoOsd) continue;
+      for (std::size_t i = 0; i < raw.size(); i++)
+        if (!used[i] && raw[i] == prev[p]) {
+          next[p] = prev[p];
+          used[i] = true;
+          break;
+        }
+    }
+  }
+  std::size_t ri = 0;
+  for (unsigned p = 0; p < width; p++) {
+    if (next[p] != kNoOsd) continue;
+    while (ri < raw.size() && used[ri]) ri++;
+    if (ri >= raw.size()) break;
+    next[p] = raw[ri];
+    used[ri] = true;
+  }
+  prev = next;
+  return next;
+}
+
 }  // namespace afc::cluster

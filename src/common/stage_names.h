@@ -51,6 +51,12 @@ inline constexpr const char* kOsdRepRetry = "osd.rep_retry";      // primary res
 inline constexpr const char* kClientRetry = "client.retry";       // client resubmitted an op
 inline constexpr const char* kJournalReplay = "journal.replay";   // restart re-applied a record
 inline constexpr const char* kScrubRepair = "scrub.repair";       // deep scrub repaired a replica
+
+// Erasure-coding markers (docs/EC.md).
+inline constexpr const char* kEcShardRead = "osd.ec.shard_read";  // span: shard fetch at a holder
+inline constexpr const char* kEcReconstruct = "osd.ec.reconstruct";  // degraded read decoded
+inline constexpr const char* kEcRebuild = "osd.ec.shard_rebuilt";    // recovery decoded a shard
+inline constexpr const char* kEcParityMismatch = "osd.ec.parity_mismatch";  // scrub stripe check failed
 }  // namespace stage
 
 }  // namespace afc

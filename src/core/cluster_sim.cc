@@ -5,7 +5,10 @@
 #include <set>
 
 #include "common/stage_names.h"
+#include "ec/codec.h"
+#include "ec/layout.h"
 #include "net/profile.h"
+#include "osd/ec_rebuild.h"
 
 namespace afc::core {
 
@@ -32,7 +35,11 @@ std::string trace_out_path() {
 
 ClusterSim::ClusterSim(ClusterConfig cfg)
     : cfg_(std::move(cfg)),
-      cmap_(cluster::ClusterMap::PoolConfig{cfg_.pg_num, cfg_.replication, cfg_.min_size}) {
+      cmap_(cluster::ClusterMap::PoolConfig{
+          cfg_.pg_num, cfg_.replication, cfg_.min_size,
+          cfg_.ec_pool ? cluster::ClusterMap::Scheme::kErasure
+                       : cluster::ClusterMap::Scheme::kReplicated,
+          cfg_.ec_k, cfg_.ec_m}) {
   if (sim_profile_requested()) sim_.enable_profiling();
   if (trace::Collector::env_requested() && trace::Collector::active() == nullptr) {
     tracer_ = std::make_unique<trace::Collector>();
@@ -55,6 +62,11 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
   cfg_.osd.qos = cfg_.qos;
   cfg_.ssd.sustained = cfg_.sustained;
   cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
+  // EC pools can never fabricate pre-existing objects: a synthesized shard
+  // would not satisfy the stripe's parity equation, so every degraded read
+  // and scrub would see phantom corruption. Reads before the first write of
+  // an extent return not-found, exactly like a fresh replicated pool.
+  if (cfg_.ec_pool) cfg_.fs.assume_populated = false;
   if (cfg_.sustained) {
     cfg_.fs.page_cache_pages = 16384;  // 64 MiB: cold vs the working set
   } else {
@@ -98,6 +110,8 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
   for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
     const auto& acting = cmap_.acting(pg);
     for (std::uint32_t osd_id : acting) {
+      // EC acting sets can carry kNoOsd holes (more shards than live OSDs).
+      if (osd_id == cluster::ClusterMap::kNoOsd) continue;
       osds_[osd_id]->create_pg(pg, acting);
     }
   }
@@ -210,6 +224,9 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
     r.journal_torn_tails += o->counters().get("osd.journal.torn_tails");
     r.journal_crc_failures += o->counters().get("osd.journal.crc_failures");
     r.scrub_objects_repaired += o->counters().get("osd.scrub_objects_repaired");
+    r.ec_reconstruct_reads += o->counters().get("osd.ec_reconstruct_reads");
+    r.ec_shards_rebuilt += o->counters().get("osd.ec_shards_rebuilt");
+    r.ec_parity_mismatch += o->counters().get("osd.ec_parity_mismatch");
     if (const auto* qos = o->qos(); qos != nullptr) {
       r.qos_enqueued += qos->stats().enqueued;
       r.qos_dispatched += qos->stats().dispatched;
@@ -261,6 +278,32 @@ fault::FaultInjector& ClusterSim::install_faults(const fault::FaultPlan& plan) {
 sim::CoTask<std::uint64_t> ClusterSim::rebalance(
     const std::vector<std::vector<std::uint32_t>>& old_acting) {
   std::uint64_t migrated = 0;
+  if (cmap_.erasure()) {
+    // EC recovery is positional: ec_remap pins surviving shards to their
+    // slots, so only the changed positions lost a shard — rebuild each by
+    // decode-from-peers instead of copying a whole replica.
+    std::vector<osd::Osd*> raw;
+    raw.reserve(osds_.size());
+    for (auto& o : osds_) raw.push_back(o.get());
+    for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
+      const auto& acting = cmap_.acting(pg);
+      if (acting == old_acting[pg]) continue;
+      for (std::uint32_t member : acting) {
+        if (member == cluster::ClusterMap::kNoOsd) continue;
+        osds_[member]->set_pg_acting(pg, acting);
+      }
+      for (unsigned pos = 0; pos < acting.size(); pos++) {
+        const std::uint32_t member = acting[pos];
+        if (member == cluster::ClusterMap::kNoOsd) continue;
+        const bool changed =
+            pos >= old_acting[pg].size() || old_acting[pg][pos] != member;
+        if (!changed) continue;
+        migrated +=
+            co_await osd::ec_rebuild_position(sim_, cmap_, raw, pg, pos, *osds_[member]);
+      }
+    }
+    co_return migrated;
+  }
   for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
     const auto& acting = cmap_.acting(pg);
     if (acting == old_acting[pg]) continue;
@@ -345,6 +388,7 @@ sim::CoTask<std::uint64_t> ClusterSim::add_node() {
 }
 
 sim::CoTask<ClusterSim::ScrubReport> ClusterSim::deep_scrub(bool repair) {
+  if (cmap_.erasure()) co_return co_await deep_scrub_ec(repair);
   ScrubReport report;
   for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
     const auto& acting = cmap_.acting(pg);
@@ -403,6 +447,184 @@ sim::CoTask<ClusterSim::ScrubReport> ClusterSim::deep_scrub(bool repair) {
             tr->instant(trace::Span{fs::ObjectIdHash{}(oid) | 1, trace::kFaultTrack},
                         tr->stage_id(stage::kScrubRepair), sim_.now());
           }
+        }
+      }
+    }
+  }
+  co_return report;
+}
+
+sim::CoTask<ClusterSim::ScrubReport> ClusterSim::deep_scrub_ec(bool repair) {
+  ScrubReport report;
+  const unsigned k = cmap_.ec_k();
+  const unsigned m = cmap_.ec_m();
+  ec::Codec codec(k, m);
+  const auto extent_at = [](const fs::FileStore::ObjectExport& exp,
+                            std::uint64_t off) -> const Payload* {
+    for (const auto& [eoff, pay] : exp.extents)
+      if (eoff == off) return &pay;
+    return nullptr;
+  };
+  for (std::uint32_t pg = 0; pg < cfg_.pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    if (acting.size() < std::size_t(k) + m) continue;
+    // Stripe census: union of base names over every position's shard store.
+    std::set<std::string> bases;
+    for (unsigned p = 0; p < k + m; p++) {
+      const std::uint32_t member = acting[p];
+      if (member == cluster::ClusterMap::kNoOsd) continue;
+      for (const auto& oid : osds_[member]->store().objects_in_pg(pg))
+        if (auto sn = ec::parse_shard(oid.name); sn.has_value() && sn->shard == p)
+          bases.insert(sn->base);
+    }
+    if (bases.empty()) continue;
+    report.pgs_scrubbed++;
+    for (const auto& base : bases) {
+      report.objects_scrubbed++;
+      const fs::ObjectId base_oid{pg, base};
+      // Phase 1: each shard self-checks its write-time extent CRCs (bytes
+      // read charged, as in a replicated deep scrub). A failing or missing
+      // shard is repaired by decoding from any k clean peers.
+      std::vector<unsigned> bad;
+      for (unsigned p = 0; p < k + m; p++) {
+        const std::uint32_t member = acting[p];
+        if (member == cluster::ClusterMap::kNoOsd) continue;  // hole: no store to check
+        const fs::ObjectId soid = ec::shard_oid(base_oid, p);
+        auto& store = osds_[member]->store();
+        if (!store.object_in_memory(soid)) {
+          report.missing++;
+          bad.push_back(p);
+          continue;
+        }
+        co_await store.read(soid, 0, store.object_size(soid), /*want_data=*/false);
+        if (!store.verify_object(soid)) {
+          report.inconsistent++;
+          bad.push_back(p);
+        }
+      }
+      if (!bad.empty() && repair) {
+        std::vector<unsigned> src_pos;
+        std::vector<fs::FileStore::ObjectExport> src_exp;
+        std::vector<std::pair<std::string, kv::Value>> xattrs;
+        for (unsigned p = 0; p < k + m && src_pos.size() < k; p++) {
+          const std::uint32_t member = acting[p];
+          if (member == cluster::ClusterMap::kNoOsd) continue;
+          if (std::find(bad.begin(), bad.end(), p) != bad.end()) continue;
+          auto exp = osds_[member]->store().export_object(ec::shard_oid(base_oid, p));
+          if (xattrs.empty()) xattrs = exp.xattrs;
+          src_pos.push_back(p);
+          src_exp.push_back(std::move(exp));
+        }
+        if (src_pos.size() >= k) {
+          std::map<std::uint64_t, std::uint64_t> extents;
+          for (const auto& e : src_exp)
+            for (const auto& [off, pay] : e.extents)
+              extents[off] = std::max(extents[off], pay.size());
+          for (unsigned p : bad) {
+            const std::uint32_t member = acting[p];
+            if (member == cluster::ClusterMap::kNoOsd) continue;
+            fs::FileStore::ObjectExport out;
+            for (const auto& [off, len] : extents) {
+              std::vector<unsigned> present;
+              std::vector<std::vector<std::uint8_t>> chunks;
+              for (std::size_t s = 0; s < src_pos.size(); s++) {
+                const Payload* pay = extent_at(src_exp[s], off);
+                if (pay == nullptr || present.size() >= k) continue;
+                auto bytes = pay->materialize();
+                bytes.resize(len, 0);
+                present.push_back(src_pos[s]);
+                chunks.push_back(std::move(bytes));
+              }
+              if (present.size() < k) continue;  // torn tail: phase 2's problem
+              auto chunk = codec.reconstruct_shard(p, present, chunks);
+              if (!chunk.has_value()) continue;
+              out.size = std::max(out.size, off + chunk->size());
+              out.extents.emplace_back(off, Payload::bytes(std::move(*chunk)));
+            }
+            if (out.extents.empty()) continue;
+            out.xattrs = xattrs;
+            co_await osds_[member]->recover_object(ec::shard_oid(base_oid, p), std::move(out));
+            report.repaired++;
+            osds_[member]->counters().add("osd.scrub_objects_repaired");
+            if (auto* tr = trace::Collector::active()) {
+              tr->instant(trace::Span{fs::ObjectIdHash{}(base_oid) | 1, trace::kFaultTrack},
+                          tr->stage_id(stage::kScrubRepair), sim_.now());
+            }
+          }
+        }
+      }
+      // Phase 2: stripe parity consistency. A torn stripe write (crash
+      // mid-fanout) leaves shards that each pass their own CRC yet violate
+      // the parity equation; only a cross-shard recompute can see that.
+      // Checkable only when every position currently holds a clean shard
+      // (possibly thanks to phase-1 repair a moment ago).
+      std::vector<fs::FileStore::ObjectExport> all(k + m);
+      bool complete = true;
+      for (unsigned p = 0; p < k + m; p++) {
+        const std::uint32_t member = acting[p];
+        const fs::ObjectId soid = ec::shard_oid(base_oid, p);
+        if (member == cluster::ClusterMap::kNoOsd ||
+            !osds_[member]->store().object_in_memory(soid) ||
+            !osds_[member]->store().verify_object(soid)) {
+          complete = false;
+          break;
+        }
+        all[p] = osds_[member]->store().export_object(soid);
+      }
+      if (!complete) continue;
+      std::map<std::uint64_t, std::uint64_t> offsets;
+      for (unsigned p = 0; p < k + m; p++)
+        for (const auto& [off, pay] : all[p].extents)
+          offsets[off] = std::max(offsets[off], pay.size());
+      // Authoritative convergence rule for an inconsistent (never-acked)
+      // stripe: the data shards' stored bytes win, absent data extents count
+      // as zeros, parity is recomputed. Reads after repair return a single
+      // consistent pre-or-post-write mix, and a re-scrub finds nothing.
+      bool dirty = false;
+      std::vector<bool> needs(k + m, false);
+      std::vector<fs::FileStore::ObjectExport> fixed(k + m);
+      for (const auto& [off, len] : offsets) {
+        std::vector<std::vector<std::uint8_t>> data;
+        for (unsigned j = 0; j < k; j++) {
+          const Payload* pay = extent_at(all[j], off);
+          auto bytes = pay != nullptr ? pay->materialize() : std::vector<std::uint8_t>();
+          bytes.resize(len, 0);
+          data.push_back(std::move(bytes));
+        }
+        auto parity = codec.encode(data);
+        for (unsigned p = 0; p < k + m; p++) {
+          const std::vector<std::uint8_t>& want = p < k ? data[p] : parity[p - k];
+          const Payload* stored = extent_at(all[p], off);
+          const bool same =
+              stored != nullptr && stored->size() == len && stored->materialize() == want;
+          if (!same) {
+            dirty = true;
+            needs[p] = true;
+          }
+          fixed[p].size = std::max(fixed[p].size, off + len);
+          fixed[p].extents.emplace_back(off, Payload::bytes(want));
+        }
+      }
+      if (!dirty) continue;
+      report.inconsistent++;
+      const std::uint32_t primary = cmap_.primary(pg);
+      osds_[primary]->counters().add("osd.ec_parity_mismatch");
+      if (auto* tr = trace::Collector::active()) {
+        tr->instant(trace::Span{fs::ObjectIdHash{}(base_oid) | 1, trace::kFaultTrack},
+                    tr->stage_id(stage::kEcParityMismatch), sim_.now());
+      }
+      if (!repair) continue;
+      for (unsigned p = 0; p < k + m; p++) {
+        if (!needs[p]) continue;
+        const std::uint32_t member = acting[p];
+        fixed[p].xattrs = all[p].xattrs.empty() ? all[0].xattrs : all[p].xattrs;
+        co_await osds_[member]->recover_object(ec::shard_oid(base_oid, p),
+                                               std::move(fixed[p]));
+        report.repaired++;
+        osds_[member]->counters().add("osd.scrub_objects_repaired");
+        if (auto* tr = trace::Collector::active()) {
+          tr->instant(trace::Span{fs::ObjectIdHash{}(base_oid) | 1, trace::kFaultTrack},
+                      tr->stage_id(stage::kScrubRepair), sim_.now());
         }
       }
     }

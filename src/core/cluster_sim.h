@@ -29,7 +29,15 @@ struct ClusterConfig {
   unsigned replication = 2;
   /// Pool min_size: durable replicas required before a write acks. 0 (the
   /// default) means "= replication" — no degraded acks, seed behaviour.
+  /// For erasure pools, 0 means "= k+1" (see ClusterMap::ack_floor()).
   unsigned min_size = 0;
+  /// Erasure-coded pool: stripe every object into ec_k data + ec_m parity
+  /// shards instead of full-copy replication. Off by default — with no EC
+  /// pool the replication scheme and every event it schedules are
+  /// byte-identical to the seed.
+  bool ec_pool = false;
+  unsigned ec_k = 4;
+  unsigned ec_m = 2;
   /// Client-side per-op timeout + resubmit (librados-style). 0 disables —
   /// the seed behaviour; chaos/fault runs set it so client ops survive OSD
   /// crashes and lossy links.
@@ -101,6 +109,11 @@ struct RunResult {
   std::uint64_t journal_torn_tails = 0;
   std::uint64_t journal_crc_failures = 0;
   std::uint64_t scrub_objects_repaired = 0;
+  // Erasure coding (all zero for replicated pools): degraded reads served by
+  // decode, shards rebuilt by recovery, stripes whose parity check failed.
+  std::uint64_t ec_reconstruct_reads = 0;
+  std::uint64_t ec_shards_rebuilt = 0;
+  std::uint64_t ec_parity_mismatch = 0;
   /// Mean per-stage write-path latency (Fig. 3), ms, index = osd::Stage.
   std::array<double, osd::kStageCount> stage_ms{};
   double write_path_total_ms = 0.0;
@@ -198,6 +211,9 @@ class ClusterSim {
   /// Recompute acting sets against `old_acting` and backfill newcomers.
   sim::CoTask<std::uint64_t> rebalance(
       const std::vector<std::vector<std::uint32_t>>& old_acting);
+  /// EC pools: per-shard CRC + stripe parity-consistency scrub, repairing by
+  /// reconstruction (replicated pools use the fingerprint-vote scrub).
+  sim::CoTask<ScrubReport> deep_scrub_ec(bool repair);
 
   ClusterConfig cfg_;
   /// Owned only when this ClusterSim installed the collector itself (env

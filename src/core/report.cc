@@ -24,6 +24,17 @@ std::string health_report(ClusterSim& cluster) {
          to_s(cluster.simulation().now()), cluster.config().profile.name.c_str(),
          cluster.osd_count(), cluster.vm_count());
 
+  // Redundancy policy: the ack floor is the invariant both schemes share —
+  // a write acks only once that many members hold it durably.
+  auto& cm = cluster.map();
+  if (cm.erasure()) {
+    append(out, "pool: erasure k=%u m=%u (%u shards/stripe), pgs %u, ack floor %u\n",
+           cm.ec_k(), cm.ec_m(), cm.pool_size(), cm.pool().pg_num, cm.ack_floor());
+  } else {
+    append(out, "pool: replicated size=%u, pgs %u, ack floor %u\n", cm.pool_size(),
+           cm.pool().pg_num, cm.ack_floor());
+  }
+
   for (std::size_t n = 0; n < cluster.config().osd_nodes && n * cluster.config().osds_per_node <
                                                                 cluster.osd_count();
        n++) {
@@ -89,6 +100,21 @@ std::string health_report(ClusterSim& cluster) {
              net.shard_depth_hwm);
     }
     append(out, "\n");
+    // Degraded-durability evidence, both schemes; printed only when
+    // something actually happened so healthy replicated reports are
+    // byte-identical to the seed's.
+    const std::uint64_t below = o.counters().get("osd.acks_below_min_size");
+    const std::uint64_t degraded = o.counters().get("osd.acks_degraded");
+    const std::uint64_t dec = o.counters().get("osd.ec_reconstruct_reads");
+    const std::uint64_t reb = o.counters().get("osd.ec_shards_rebuilt");
+    const std::uint64_t pmm = o.counters().get("osd.ec_parity_mismatch");
+    if (below + degraded + dec + reb + pmm > 0) {
+      append(out,
+             "       redundancy: below-floor %llu degraded-acks %llu | ec decode-reads %llu "
+             "shards-rebuilt %llu parity-mismatch %llu\n",
+             (unsigned long long)below, (unsigned long long)degraded, (unsigned long long)dec,
+             (unsigned long long)reb, (unsigned long long)pmm);
+    }
   }
   return out;
 }

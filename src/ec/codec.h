@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace afc::ec {
+
+/// Systematic Reed–Solomon erasure codec over GF(256): k data chunks in the
+/// clear plus m parity chunks, any k of the k+m shards reconstruct the
+/// stripe. The generator matrix is [ I_k ; P ] with Cauchy parity
+/// P[i][j] = inv((k+i) XOR j) — every k-row subset of a Cauchy-extended
+/// identity is invertible, which is exactly the any-k guarantee. Decode is a
+/// k x k Gaussian elimination in the field, done once per stripe and applied
+/// byte-wise.
+class Codec {
+ public:
+  Codec(unsigned k, unsigned m);
+
+  unsigned k() const { return k_; }
+  unsigned m() const { return m_; }
+
+  /// Parity coefficient row i (0..m-1), column j (0..k-1).
+  std::uint8_t parity_coeff(unsigned i, unsigned j) const {
+    return parity_[i * k_ + j];
+  }
+
+  /// data must hold exactly k chunks of equal length; returns m parity
+  /// chunks of that length.
+  std::vector<std::vector<std::uint8_t>> encode(
+      const std::vector<std::vector<std::uint8_t>>& data) const;
+
+  /// Reconstruct all k data chunks from any >= k surviving shards.
+  /// `present[i]` is the shard index (0..k+m-1) of `chunks[i]`; indices must
+  /// be distinct, chunks equal-length. Returns nullopt when fewer than k
+  /// shards survive (information-theoretically unrecoverable).
+  std::optional<std::vector<std::vector<std::uint8_t>>> decode(
+      const std::vector<unsigned>& present,
+      const std::vector<std::vector<std::uint8_t>>& chunks) const;
+
+  /// Rebuild one shard (data or parity) from any k survivors: decode the
+  /// stripe, then re-emit shard `target`.
+  std::optional<std::vector<std::uint8_t>> reconstruct_shard(
+      unsigned target, const std::vector<unsigned>& present,
+      const std::vector<std::vector<std::uint8_t>>& chunks) const;
+
+ private:
+  unsigned k_;
+  unsigned m_;
+  std::vector<std::uint8_t> parity_;  // m x k, row-major
+};
+
+}  // namespace afc::ec

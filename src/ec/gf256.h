@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+namespace afc::ec {
+
+/// GF(2^8) arithmetic over the polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D)
+/// with generator 2 — the field every production Reed–Solomon codec
+/// (jerasure, ISA-L, liberasurecode) uses. Tables are built at compile time,
+/// so the first encode pays nothing and the values are burned into the
+/// binary: exp[i] = 2^i, log[2^i] = i, and exp is doubled so
+/// mul(a,b) = exp[log[a] + log[b]] never needs a mod-255.
+struct Gf256Tables {
+  std::uint8_t exp[512] = {};
+  std::uint8_t log[256] = {};
+};
+
+constexpr Gf256Tables make_gf256_tables() {
+  Gf256Tables t;
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; i++) {
+    t.exp[i] = std::uint8_t(x);
+    t.log[x] = std::uint8_t(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (unsigned i = 255; i < 512; i++) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // log(0) is undefined; callers must special-case zero
+  return t;
+}
+
+inline constexpr Gf256Tables kGf256 = make_gf256_tables();
+
+inline std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kGf256.exp[unsigned(kGf256.log[a]) + unsigned(kGf256.log[b])];
+}
+
+/// Multiplicative inverse (a != 0): a^(254) == a^(-1) in GF(256).
+inline std::uint8_t gf_inv(std::uint8_t a) {
+  return kGf256.exp[255 - unsigned(kGf256.log[a])];
+}
+
+inline std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return kGf256.exp[unsigned(kGf256.log[a]) + 255 - unsigned(kGf256.log[b])];
+}
+
+}  // namespace afc::ec

@@ -6,6 +6,8 @@
 #include "common/rng.h"
 #include "common/stage_names.h"
 #include "core/trace.h"
+#include "ec/layout.h"
+#include "osd/ec_rebuild.h"
 
 namespace afc::fault {
 
@@ -81,8 +83,9 @@ void FaultInjector::apply(std::size_t idx) {
     case FaultKind::kBitFlip: {
       // Seeded per event so two flips in one plan pick independent victims.
       const std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ull * (idx + 1));
-      const bool hit = e.media == 1 ? osds_[e.osd]->journal().corrupt_record(s)
-                                    : corrupt_scrubbed_object(e.osd, s);
+      const bool hit = e.media == 1   ? osds_[e.osd]->journal().corrupt_record(s)
+                       : e.media == 2 ? corrupt_parity_shard(e.osd, s)
+                                      : corrupt_scrubbed_object(e.osd, s);
       if (!hit) counters_.add("fault.bit_flip_noop");
       break;
     }
@@ -135,6 +138,31 @@ bool FaultInjector::corrupt_scrubbed_object(std::uint32_t osd, std::uint64_t see
   const std::size_t start = rng.uniform_int(0, oids.size() - 1);
   for (std::size_t k = 0; k < oids.size(); k++) {
     if (osds_[osd]->store().corrupt_object(oids[(start + k) % oids.size()])) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::corrupt_parity_shard(std::uint32_t osd, std::uint64_t seed) {
+  if (!cmap_.erasure()) return false;
+  const unsigned k = cmap_.ec_k();
+  // Same audit-visibility rule as corrupt_scrubbed_object, narrowed to
+  // parity: only shards the acting set maps to this OSD at a parity
+  // position count.
+  std::vector<fs::ObjectId> oids;
+  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    for (const auto& oid : osds_[osd]->store().objects_in_pg(pg)) {
+      auto sn = ec::parse_shard(oid.name);
+      if (!sn.has_value() || sn->shard < k) continue;
+      if (sn->shard < acting.size() && acting[sn->shard] == osd) oids.push_back(oid);
+    }
+  }
+  if (oids.empty()) return false;
+  std::sort(oids.begin(), oids.end());
+  Rng rng(seed ^ 0xB17F11Dull);
+  const std::size_t start = rng.uniform_int(0, oids.size() - 1);
+  for (std::size_t i = 0; i < oids.size(); i++) {
+    if (osds_[osd]->store().corrupt_object(oids[(start + i) % oids.size()])) return true;
   }
   return false;
 }
@@ -195,6 +223,10 @@ void FaultInjector::do_restart(std::uint32_t osd) {
 }
 
 void FaultInjector::retarget_pgs(const std::vector<std::vector<std::uint32_t>>& old_acting) {
+  if (cmap_.erasure()) {
+    retarget_pgs_ec(old_acting);
+    return;
+  }
   for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) {
     const auto& acting = cmap_.acting(pg);
     if (acting == old_acting[pg]) continue;
@@ -221,6 +253,31 @@ void FaultInjector::retarget_pgs(const std::vector<std::vector<std::uint32_t>>& 
           co_await src->push_pg(pgid, *dst);
         });
       }
+    }
+  }
+}
+
+void FaultInjector::retarget_pgs_ec(const std::vector<std::vector<std::uint32_t>>& old_acting) {
+  for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) {
+    const auto& acting = cmap_.acting(pg);
+    if (acting == old_acting[pg]) continue;
+    for (std::uint32_t member : acting) {
+      if (member == cluster::ClusterMap::kNoOsd) continue;
+      osds_[member]->set_pg_acting(pg, {acting.begin(), acting.end()});
+    }
+    // ec_remap pins survivors to their slots, so exactly the changed
+    // positions need their shard decoded back from k surviving peers.
+    for (unsigned pos = 0; pos < acting.size(); pos++) {
+      const std::uint32_t member = acting[pos];
+      if (member == cluster::ClusterMap::kNoOsd) continue;
+      const bool changed =
+          pos >= old_acting[pg].size() || old_acting[pg][pos] != member;
+      if (!changed) continue;
+      counters_.add("fault.ec_rebuilds");
+      const std::uint32_t pgid = pg;
+      sim::spawn_fn([this, pgid, pos, member]() -> sim::CoTask<void> {
+        co_await osd::ec_rebuild_position(sim_, cmap_, osds_, pgid, pos, *osds_[member]);
+      });
     }
   }
 }

@@ -51,12 +51,19 @@ class FaultInjector {
   /// kBitFlip on data media: flip one byte of a seeded-random object in a
   /// PG the OSD is currently acting for (so a scrub can find the damage).
   bool corrupt_scrubbed_object(std::uint32_t osd, std::uint64_t seed);
+  /// kBitFlip with media=2: flip one byte of a parity shard (index >= k)
+  /// that `osd` currently holds in an EC acting set. Returns false (no-op)
+  /// on replicated pools or when no parity shard is resident.
+  bool corrupt_parity_shard(std::uint32_t osd, std::uint64_t seed);
   /// Apply `f` to both directions of every connection matching (osd, peer);
   /// peer == kAllPeers matches every link touching `osd`.
   void set_link_fault(std::uint32_t osd, std::uint32_t peer, const net::Connection::Fault& f);
   /// Recompute acting sets after a CRUSH up/down flip, push them to the
   /// surviving/new members, and backfill newcomers asynchronously.
   void retarget_pgs(const std::vector<std::vector<std::uint32_t>>& old_acting);
+  /// EC pools: positional recovery — every changed shard position is rebuilt
+  /// by decode-from-peers (osd::ec_rebuild_position) instead of copied.
+  void retarget_pgs_ec(const std::vector<std::vector<std::uint32_t>>& old_acting);
   void trace_event(std::size_t idx);
 
   sim::Simulation& sim_;

@@ -124,6 +124,16 @@ FaultPlan& FaultPlan::bit_flip_journal(Time at, std::uint32_t osd) {
   return *this;
 }
 
+FaultPlan& FaultPlan::bit_flip_parity(Time at, std::uint32_t osd) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBitFlip;
+  e.osd = osd;
+  e.media = 2;
+  events.push_back(e);
+  return *this;
+}
+
 FaultPlan& FaultPlan::torn_write(Time at, std::uint32_t osd) {
   FaultEvent e;
   e.at = at;

@@ -21,7 +21,8 @@ enum class FaultKind {
   kLinkDelay,      // links touching (osd, peer) gain `added_ns` propagation
   kLinkPartition,  // links touching (osd, peer) deliver nothing
   kJournalStall,   // the OSD's journal writer freezes for `duration`
-  kBitFlip,        // flip a byte in a journal record (`media`=1) or data extent (0)
+  kBitFlip,        // flip a byte: data extent (`media`=0), journal record (1),
+                   // or an EC parity shard's extent (2)
   kTornWrite,      // next journal batch persists only a prefix, then the daemon dies
 };
 
@@ -68,6 +69,10 @@ struct FaultPlan {
   FaultPlan& bit_flip_data(Time at, std::uint32_t osd);
   /// Flip one byte of a seeded-random retained journal record on `osd`.
   FaultPlan& bit_flip_journal(Time at, std::uint32_t osd);
+  /// Flip one byte of a seeded-random EC *parity* shard on `osd` (shard
+  /// index >= k). No-op on replicated pools; exercises the scrub's
+  /// parity-consistency check and repair-by-recompute.
+  FaultPlan& bit_flip_parity(Time at, std::uint32_t osd);
   /// Tear the journal batch queued at `at` (prefix persists) and crash the
   /// daemon; pair with restart() to exercise replay.
   FaultPlan& torn_write(Time at, std::uint32_t osd);

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "cluster/map.h"
+#include "osd/osd.h"
+
+namespace afc::osd {
+
+/// Rebuild every shard object of `pgid` at shard position `pos` onto
+/// `target` by decode-from-peers: enumerate stripe base names from the
+/// surviving positions, export >= k clean source chunks per extent (charged
+/// as source reads + wire transfer, like replicated backfill), reconstruct
+/// the lost shard with the pool's codec, and install it. Already-identical
+/// shards are skipped; extents with fewer than k clean survivors (a torn
+/// stripe mid-write) are left for scrub. `osds[i]` must be the OSD with id
+/// i (the injector/ClusterSim convention). Returns shard objects rebuilt.
+///
+/// This is the EC counterpart of Osd::push_pg: replicated recovery copies
+/// an object, EC recovery recomputes it.
+sim::CoTask<std::uint64_t> ec_rebuild_position(sim::Simulation& sim,
+                                               cluster::ClusterMap& cmap,
+                                               const std::vector<Osd*>& osds,
+                                               std::uint32_t pgid, unsigned pos,
+                                               Osd& target);
+
+}  // namespace afc::osd

@@ -20,6 +20,8 @@ enum MsgType : int {
   kRepReply = 4,    // replica -> primary (journal commit ack)
   kWriteReply = 5,  // primary -> client
   kReadReply = 6,
+  kShardRead = 7,       // EC primary -> shard holder (gather for a read)
+  kShardReadReply = 8,  // shard holder -> EC primary
 };
 
 /// A client I/O request (MOSDOp).
@@ -56,6 +58,26 @@ struct RepReplyMsg : net::MsgBody {
   std::uint32_t from_osd = 0;
 };
 
+/// EC shard fetch (primary gathering chunks for a striped read). The
+/// primary pre-computes the shard object id and shard-space extent; the
+/// holder is a plain object read with no EC awareness.
+struct ShardReadMsg : net::MsgBody {
+  std::uint64_t rid = 0;  // gather id, unique per primary
+  std::uint32_t pg = 0;
+  fs::ObjectId oid;
+  std::uint64_t offset = 0;  // shard-space
+  std::uint64_t len = 0;
+  bool want_data = false;
+};
+
+struct ShardReadReplyMsg : net::MsgBody {
+  std::uint64_t rid = 0;
+  unsigned shard = 0;  // shard position this chunk belongs to
+  bool ok = true;
+  std::uint64_t data_len = 0;
+  std::optional<std::vector<std::uint8_t>> data;  // when want_data
+};
+
 /// Reply to the client.
 struct IoReplyMsg : net::MsgBody {
   std::uint64_t op_id = 0;
@@ -89,6 +111,10 @@ struct OpCtx {
   std::shared_ptr<ClientIoMsg> msg;
   net::Connection* reply_conn = nullptr;
   fs::Transaction txn;
+  /// Object the primary's own transaction targets: msg->oid for replicated
+  /// writes, the primary's shard object for EC stripes (journal replay and
+  /// readable-gating key off it).
+  fs::ObjectId local_oid;
   std::uint64_t journal_bytes = 0;
   unsigned commits_needed = 0;
   unsigned commits_seen = 0;
@@ -106,6 +132,17 @@ struct OpCtx {
   sim::TimerToken rep_timer;  // replication watchdog (cancelled at ack)
   bool rep_timer_armed = false;
   bool failed = false;  // resolved with ok=false after bounded retries
+
+  // --- EC stripe state (empty for replicated ops) -----------------------
+  /// One entry per remote shard sub-op, so watchdog resends can rebuild the
+  /// exact shard payload instead of the client's full-stripe payload.
+  struct EcShard {
+    std::uint32_t peer = 0;
+    fs::ObjectId oid;
+    std::uint64_t offset = 0;  // shard-space
+    Payload data;
+  };
+  std::vector<EcShard> ec_shards;
 
   void stamp(Stage s, Time now) { ts[s] = now; }
 };

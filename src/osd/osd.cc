@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ec/layout.h"
+
 namespace afc::osd {
 
 namespace {
@@ -77,6 +79,7 @@ Osd::Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
     sim::spawn(finisher_loop());
   }
   for (unsigned a = 0; a < cfg_.apply_threads; a++) sim::spawn(apply_loop());
+  if (cmap_.erasure()) codec_ = std::make_unique<ec::Codec>(cmap_.ec_k(), cmap_.ec_m());
   if (cfg_.qos.enabled) {
     qos_ = std::make_unique<QosScheduler>(
         sim_, cfg_.qos, [this](WorkItem item, Time enqueued_at) {
@@ -135,6 +138,12 @@ sim::CoTask<void> Osd::on_message(net::Message m) {
     }
     case kRepReply:
       co_await dispatch_rep_reply(std::static_pointer_cast<RepReplyMsg>(m.body));
+      break;
+    case kShardRead:
+      co_await serve_shard_read(std::static_pointer_cast<ShardReadMsg>(m.body), m.reply_to);
+      break;
+    case kShardReadReply:
+      handle_shard_read_reply(std::static_pointer_cast<ShardReadReplyMsg>(m.body));
       break;
     default:
       break;
@@ -356,6 +365,10 @@ sim::CoTask<ObjectMeta> Osd::ensure_object_meta(const fs::ObjectId& oid) {
 // ---------------------------------------------------------------------------
 
 sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
+  if (cmap_.erasure()) {
+    co_await process_client_write_ec(item);
+    co_return;
+  }
   OpRef op = item.op;
   ClientIoMsg& msg = *op->msg;
   Pg& pg = *find_pg(item.pg);
@@ -429,6 +442,7 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
   op->txn = std::move(txn);
   op->stamp(kStJournalQ, sim_.now());
   client_writes_++;
+  op->local_oid = msg.oid;
   note_apply_queued(msg.oid);
   sim::spawn(journal_path(op));
 }
@@ -446,7 +460,7 @@ sim::CoTask<void> Osd::journal_path(OpRef op) {
   ai.txn = std::move(op->txn);
   ai.journal_bytes = op->journal_bytes;
   ai.op = op;
-  ai.oid = op->msg->oid;
+  ai.oid = op->local_oid;
   ai.seq = seq;
   apply_q_.try_push(std::move(ai));
 
@@ -587,13 +601,29 @@ void Osd::send_rep_op(OpCtx& op, std::uint32_t peer) {
   auto rep = std::make_shared<RepOpMsg>();
   rep->op_id = msg.op_id;
   rep->pg = msg.pg;
-  rep->oid = msg.oid;
-  rep->offset = msg.offset;
-  rep->data = msg.data;
   rep->version = op.version;
+  if (!op.ec_shards.empty()) {
+    // EC stripe: the sub-op carries only this peer's shard (oid, shard-space
+    // offset, chunk payload) — the replica path itself is EC-oblivious. The
+    // shard table also serves watchdog resends.
+    const OpCtx::EcShard* sh = nullptr;
+    for (const auto& s : op.ec_shards)
+      if (s.peer == peer) {
+        sh = &s;
+        break;
+      }
+    if (sh == nullptr) return;
+    rep->oid = sh->oid;
+    rep->offset = sh->offset;
+    rep->data = sh->data;
+  } else {
+    rep->oid = msg.oid;
+    rep->offset = msg.offset;
+    rep->data = msg.data;
+  }
   net::Message wire;
   wire.type = kRepOp;
-  wire.size = msg.data.size() + cfg_.repop_header_bytes;
+  wire.size = rep->data.size() + cfg_.repop_header_bytes;
   wire.body = std::move(rep);
   wire.trace = op.span;
   it->second->send(std::move(wire));
@@ -832,6 +862,10 @@ sim::CoTask<void> Osd::wait_object_readable(const fs::ObjectId& oid) {
 // ---------------------------------------------------------------------------
 
 sim::CoTask<void> Osd::process_client_read(WorkItem& item) {
+  if (cmap_.erasure()) {
+    co_await process_client_read_ec(item);
+    co_return;
+  }
   OpRef op = item.op;
   ClientIoMsg& msg = *op->msg;
 
@@ -867,6 +901,367 @@ sim::CoTask<void> Osd::process_client_read(WorkItem& item) {
   wire.body = std::move(reply);
   wire.trace = op->span;
   op->reply_conn->send(std::move(wire));
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    tr->end(op->span, tr->stage_id(stage::kReadOp), sim_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Erasure-coded pool paths (never reached for replicated pools)
+// ---------------------------------------------------------------------------
+
+bool Osd::osd_up(std::uint32_t osd_id) const {
+  for (const auto& e : cmap_.crush().osds())
+    if (e.id == osd_id) return e.up;
+  return false;
+}
+
+sim::CoTask<void> Osd::process_client_write_ec(WorkItem& item) {
+  OpRef op = item.op;
+  ClientIoMsg& msg = *op->msg;
+  Pg& pg = *find_pg(item.pg);
+  const unsigned k = cmap_.ec_k();
+
+  co_await dlog_.log(cfg_.log_entries_dispatch);
+  ObjectMeta meta = co_await ensure_object_meta(msg.oid);
+  co_await charge_cpu(cfg_.prepare_cpu, true);
+  co_await charge_cpu(cfg_.ec_encode_cpu, false);  // k+m GF(256) MAC sweep
+
+  // Copy: retargets during the co_awaits below may swap the PG's set.
+  const std::vector<std::uint32_t> acting = pg.acting();
+  unsigned self_pos = unsigned(acting.size());
+  for (unsigned p = 0; p < unsigned(acting.size()); p++)
+    if (acting[p] == id_) {
+      self_pos = p;
+      break;
+    }
+  if (self_pos == unsigned(acting.size())) {
+    // A stale-map client reached an OSD that holds no shard position.
+    fail_op(op);
+    co_return;
+  }
+
+  // Chunk the stripe. Data shards keep the O(1) virtual representation when
+  // the stripe divides evenly (the hot 4K path); parity is always computed
+  // on real bytes so scrub can recheck the stripe equation against stored
+  // content later.
+  const std::uint64_t clen = ec::chunk_len(msg.data.size(), k);
+  const std::uint64_t soff = ec::shard_offset(msg.offset, k);
+  std::vector<Payload> shards;
+  shards.reserve(acting.size());
+  {
+    std::vector<std::vector<std::uint8_t>> chunks(k);
+    const bool exact = msg.data.size() % k == 0;
+    for (unsigned j = 0; j < k; j++) {
+      Payload sl = msg.data.slice(
+          std::uint64_t(j) * clen,
+          std::min<std::uint64_t>(clen, msg.data.size() - std::uint64_t(j) * clen));
+      chunks[j] = sl.materialize();
+      chunks[j].resize(clen, 0);
+      shards.push_back(exact && sl.is_virtual() ? sl : Payload::bytes(chunks[j]));
+    }
+    for (auto& par : codec_->encode(chunks)) shards.push_back(Payload::bytes(std::move(par)));
+  }
+
+  const std::uint64_t version = pg.next_version();
+  op->version = version;
+  op->local_oid = ec::shard_oid(msg.oid, self_pos);
+  fs::Transaction txn;
+  txn.write(op->local_oid, soff, shards[self_pos]);
+  {
+    std::vector<std::pair<std::string, kv::Value>> kvs;
+    kvs.emplace_back(pg.log_key(version), kv::Value::virt(std::uint32_t(cfg_.pg_log_entry_bytes)));
+    kvs.emplace_back(pg.info_key(), kv::Value::virt(std::uint32_t(cfg_.pg_info_bytes)));
+    txn.omap_setkeys(op->local_oid, std::move(kvs));
+  }
+  txn.setattrs(op->local_oid, {{"_", kv::Value::virt(std::uint32_t(cfg_.attr_oi_bytes))},
+                               {"snapset", kv::Value::virt(std::uint32_t(cfg_.attr_ss_bytes))}});
+  if (!profile_.skip_alloc_hint) txn.set_alloc_hint(op->local_oid);
+  if (version % cfg_.pg_log_trim_every == 0 && version > pg.log_floor + cfg_.pg_log_keep) {
+    const std::uint64_t new_floor = version - cfg_.pg_log_keep;
+    txn.omap_rmkeyrange(op->local_oid, pg.log_key(pg.log_floor), pg.log_key(new_floor));
+    pg.log_floor = new_floor;
+  }
+  {
+    ObjectMeta updated;
+    updated.exists = true;
+    updated.size = std::max(meta.size, msg.offset + msg.data.size());
+    updated.version = version;
+    meta_cache_.insert(msg.oid, updated);
+  }
+
+  // One sub-op per remote shard position; the replica path is EC-oblivious.
+  op->commits_needed = 0;
+  for (unsigned p = 0; p < unsigned(acting.size()); p++) {
+    const std::uint32_t peer = acting[p];
+    if (peer == cluster::ClusterMap::kNoOsd) continue;  // unfillable position
+    if (peer == id_) {
+      op->commits_needed++;
+      continue;
+    }
+    if (peers_.find(peer) == peers_.end()) continue;
+    op->ec_shards.push_back(OpCtx::EcShard{peer, ec::shard_oid(msg.oid, p), soff, shards[p]});
+    op->commits_needed++;
+    send_rep_op(*op, peer);
+    op->waiting_peers.push_back(peer);
+  }
+  op->commits_planned = op->commits_needed;
+  // Unclamped ack floor: a stripe with fewer than k+1 durable shards must
+  // fail, not ack degraded — one further loss would destroy acked data.
+  op->min_commits = cmap_.ack_floor();
+  if (cfg_.rep_timeout > 0 && !op->waiting_peers.empty()) arm_rep_timer(op);
+  op->stamp(kStSubmitted, sim_.now());
+
+  const std::uint64_t jbytes = txn.encoded_bytes();
+  const Time admit_t0 = sim_.now();
+  co_await throttles_.filestore_ops.acquire(1);
+  co_await throttles_.filestore_bytes.acquire(jbytes);
+  co_await throttles_.journal_ops.acquire(1);
+  co_await journal_.reserve(jbytes);
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    if (const Time admitted = sim_.now(); admitted > admit_t0) {
+      tr->complete(op->span, tr->stage_id(stage::kJournalThrottle), admit_t0, admitted);
+    }
+  }
+  txn.trace = op->span;
+  op->journal_bytes = jbytes;
+  op->txn = std::move(txn);
+  op->stamp(kStJournalQ, sim_.now());
+  client_writes_++;
+  note_apply_queued(op->local_oid);
+  sim::spawn(journal_path(op));
+}
+
+sim::CoTask<void> Osd::process_client_read_ec(WorkItem& item) {
+  OpRef op = item.op;
+  ClientIoMsg& msg = *op->msg;
+
+  co_await dlog_.log(cfg_.log_entries_read);
+  // Charged for cost parity with the replicated path; existence is decided
+  // by the gather itself (< k shards found = not found).
+  ObjectMeta meta = co_await ensure_object_meta(msg.oid);
+  (void)meta;
+  co_await charge_cpu(cfg_.read_cpu, true);
+  client_reads_++;
+  // Detach the shard gather: a partitioned holder can stall it for
+  // ec_read_timeout, which must not wedge this PG's op stream.
+  sim::spawn(ec_read_gather(op));
+}
+
+sim::CoTask<void> Osd::ec_read_gather(OpRef op) {
+  ClientIoMsg& msg = *op->msg;
+  const unsigned k = cmap_.ec_k();
+  const unsigned m = cmap_.ec_m();
+  const std::uint64_t clen = ec::chunk_len(msg.read_len, k);
+  const std::uint64_t soff = ec::shard_offset(msg.offset, k);
+  std::vector<std::uint32_t> acting;
+  if (Pg* pg = find_pg(msg.pg)) acting = pg->acting();
+  if (acting.size() < std::size_t(k) + m) {
+    send_read_reply(op, false, 0, std::nullopt);
+    co_return;
+  }
+
+  ShardGather g(sim_);
+  const std::uint64_t rid = next_shard_rid_++;
+  shard_gathers_[rid] = &g;
+  std::vector<unsigned> local;
+
+  auto request = [&](unsigned p) {
+    if (g.good.count(p) != 0 || g.bad.count(p) != 0 || g.waiting.count(p) != 0) return;
+    const std::uint32_t holder = acting[p];
+    if (holder == cluster::ClusterMap::kNoOsd) {
+      g.bad.insert(p);
+      return;
+    }
+    if (holder == id_) {
+      g.waiting.insert(p);
+      local.push_back(p);
+      return;
+    }
+    // A CRUSH-down holder is skipped immediately; only a *silently*
+    // unreachable one (partition: up but blackholed) costs ec_read_timeout.
+    if (peers_.find(holder) == peers_.end() || !osd_up(holder)) {
+      g.bad.insert(p);
+      return;
+    }
+    auto req = std::make_shared<ShardReadMsg>();
+    req->rid = rid;
+    req->pg = msg.pg;
+    req->oid = ec::shard_oid(msg.oid, p);
+    req->offset = soff;
+    req->len = clen;
+    req->want_data = msg.want_data;
+    net::Message wire;
+    wire.type = kShardRead;
+    wire.size = 200;
+    wire.body = std::move(req);
+    wire.trace = op->span;
+    peers_[holder]->send(std::move(wire));
+    g.waiting.insert(p);
+  };
+
+  // Serve one locally-held shard position (the primary usually holds one).
+  auto fetch_local = [&](unsigned p) -> sim::CoTask<void> {
+    const fs::ObjectId soid = ec::shard_oid(msg.oid, p);
+    co_await wait_object_readable(soid);
+    bool ok = store_.object_in_memory(soid) && store_.verify_object(soid);
+    if (ok) {
+      auto rr = co_await store_.read(soid, soff, clen, msg.want_data);
+      if (rr.found) {
+        g.good[p] = GatherChunk{rr.length, std::move(rr.data)};
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) g.bad.insert(p);
+    g.waiting.erase(p);
+  };
+
+  for (unsigned phase = 0; phase < 2; phase++) {
+    if (phase == 0) {
+      // Healthy path: data shards only — no decode, no parity traffic.
+      for (unsigned p = 0; p < k; p++) request(p);
+    } else {
+      if (g.good.size() >= k && g.bad.empty()) break;  // all data chunks arrived
+      // Something is missing or corrupt: pull every parity shard and
+      // reconstruct from any k survivors.
+      for (unsigned p = k; p < k + m; p++) request(p);
+    }
+    for (unsigned p : local) co_await fetch_local(p);
+    local.clear();
+    while (!g.waiting.empty()) {
+      if (co_await g.cv.wait_for(cfg_.ec_read_timeout) == sim::TimedOut::kYes) {
+        for (unsigned p : g.waiting) g.bad.insert(p);
+        g.waiting.clear();
+      }
+    }
+  }
+  shard_gathers_.erase(rid);
+
+  bool data_complete = true;
+  for (unsigned p = 0; p < k; p++)
+    if (g.good.count(p) == 0) data_complete = false;
+
+  if (data_complete) {
+    std::uint64_t total = 0;
+    std::optional<std::vector<std::uint8_t>> out;
+    if (msg.want_data) out.emplace();
+    for (unsigned p = 0; p < k; p++) {
+      auto& ch = g.good[p];
+      total += ch.len;
+      if (msg.want_data && ch.bytes) {
+        auto b = std::move(*ch.bytes);
+        b.resize(clen, 0);
+        out->insert(out->end(), b.begin(), b.end());
+      }
+    }
+    total = std::min<std::uint64_t>(total, msg.read_len);
+    if (out && out->size() > msg.read_len) out->resize(msg.read_len);
+    send_read_reply(op, true, total, std::move(out));
+    co_return;
+  }
+
+  if (g.good.size() < k) {
+    // Fewer than k survivors: information-theoretically unrecoverable.
+    send_read_reply(op, false, 0, std::nullopt);
+    co_return;
+  }
+
+  // Degraded read: decode the stripe from any k surviving shards.
+  co_await charge_cpu(cfg_.ec_decode_cpu, false);
+  counters_.add("osd.ec_reconstruct_reads");
+  if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
+    tr->instant(op->span, tr->stage_id(stage::kEcReconstruct), sim_.now());
+  }
+  if (!msg.want_data) {
+    send_read_reply(op, true, msg.read_len, std::nullopt);
+    co_return;
+  }
+  std::vector<unsigned> present;
+  std::vector<std::vector<std::uint8_t>> chunks;
+  for (auto& [p, ch] : g.good) {
+    if (present.size() == k) break;
+    std::vector<std::uint8_t> b = ch.bytes ? std::move(*ch.bytes) : std::vector<std::uint8_t>{};
+    b.resize(clen, 0);
+    present.push_back(p);
+    chunks.push_back(std::move(b));
+  }
+  auto data = codec_->decode(present, chunks);
+  if (!data) {
+    send_read_reply(op, false, 0, std::nullopt);
+    co_return;
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(std::size_t(clen) * k);
+  for (unsigned p = 0; p < k; p++)
+    out.insert(out.end(), (*data)[p].begin(), (*data)[p].end());
+  if (out.size() > msg.read_len) out.resize(msg.read_len);
+  const std::uint64_t total = out.size();
+  send_read_reply(op, true, total, std::move(out));
+}
+
+sim::CoTask<void> Osd::serve_shard_read(std::shared_ptr<ShardReadMsg> msg,
+                                        net::Connection* conn) {
+  const Time t0 = sim_.now();
+  co_await charge_cpu(cfg_.read_cpu / 2, true);  // no client assembly work here
+  auto reply = std::make_shared<ShardReadReplyMsg>();
+  reply->rid = msg->rid;
+  if (auto sn = ec::parse_shard(msg->oid.name)) reply->shard = sn->shard;
+  co_await wait_object_readable(msg->oid);
+  // Per-shard CRC gate: a bit-flipped shard reports itself bad here, which
+  // is what turns silent corruption into a reconstructing read.
+  if (store_.object_in_memory(msg->oid) && store_.verify_object(msg->oid)) {
+    auto rr = co_await store_.read(msg->oid, msg->offset, msg->len, msg->want_data);
+    reply->ok = rr.found;
+    reply->data_len = rr.length;
+    reply->data = std::move(rr.data);
+  } else {
+    reply->ok = false;
+  }
+  if (auto* tr = trace::Collector::active()) {
+    trace::Span sp{msg->rid, trace::osd_track(id_)};
+    tr->complete(sp, tr->stage_id(stage::kEcShardRead), t0, sim_.now());
+  }
+  net::Message wire;
+  wire.type = kShardReadReply;
+  wire.size = reply->data_len + cfg_.reply_msg_bytes;
+  wire.body = std::move(reply);
+  if (conn != nullptr) conn->send(std::move(wire));
+}
+
+void Osd::handle_shard_read_reply(std::shared_ptr<ShardReadReplyMsg> msg) {
+  auto it = shard_gathers_.find(msg->rid);
+  if (it == shard_gathers_.end()) return;  // gather finished, timed out, or crashed
+  ShardGather& g = *it->second;
+  if (g.waiting.erase(msg->shard) == 0) return;  // duplicate or already given up on
+  if (msg->ok) {
+    g.good[msg->shard] = GatherChunk{msg->data_len, std::move(msg->data)};
+  } else {
+    g.bad.insert(msg->shard);
+  }
+  g.cv.notify_all();
+}
+
+void Osd::send_read_reply(OpRef& op, bool ok, std::uint64_t data_len,
+                          std::optional<std::vector<std::uint8_t>> data) {
+  ClientIoMsg& msg = *op->msg;
+  throttles_.messages.release(1);
+  throttles_.message_bytes.release(msg.data.size() + 150);
+  qos_op_done();
+  inflight_.erase(msg.op_id);
+  auto reply = std::make_shared<IoReplyMsg>();
+  reply->op_id = msg.op_id;
+  reply->is_write = false;
+  reply->ok = ok;
+  reply->data_len = data_len;
+  reply->data = std::move(data);
+  reply->issued_at = msg.issued_at;
+  net::Message wire;
+  wire.type = kReadReply;
+  wire.size = data_len + cfg_.reply_msg_bytes;
+  wire.body = std::move(reply);
+  wire.trace = op->span;
+  if (op->reply_conn != nullptr) op->reply_conn->send(std::move(wire));
   if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
     tr->end(op->span, tr->stage_id(stage::kReadOp), sim_.now());
   }
@@ -1029,6 +1424,10 @@ sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
 void Osd::on_crash() {
   inflight_.clear();
   ack_state_.clear();
+  // Routing entries for in-flight shard gathers die with the daemon's RAM;
+  // the gather coroutines themselves are zombies that expire on their own
+  // ec_read_timeout.
+  shard_gathers_.clear();
   // Ops parked in the QoS queues were only in this daemon's RAM; zombies
   // resolving after the crash must not underflow the fresh window either.
   if (qos_ != nullptr) qos_->reset();

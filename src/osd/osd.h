@@ -9,6 +9,7 @@
 #include "common/histogram.h"
 #include "common/stats.h"
 #include "core/profile.h"
+#include "ec/codec.h"
 #include "fs/filestore.h"
 #include "fs/journal.h"
 #include "osd/dout.h"
@@ -66,6 +67,14 @@ struct OsdConfig {
   Time rep_timeout = 0;
   unsigned rep_retries = 2;
 
+  /// EC pools only (inert otherwise). Shard-gather reads give a partitioned
+  /// (up but unreachable) shard holder this long before falling back to
+  /// reconstruction; peers the CRUSH map already marks down are skipped
+  /// with no timer at all. CPU costs model the codec's matrix arithmetic.
+  Time ec_read_timeout = 10 * kMillisecond;
+  Time ec_encode_cpu = 15000;  // ns, k+m GF(256) multiply-accumulate
+  Time ec_decode_cpu = 25000;  // ns, adds the k x k matrix inversion
+
   /// Per-tenant dmClock QoS in front of OP_WQ. Disabled by default: the
   /// scheduler is not constructed and the dispatch path is untouched.
   /// ClusterConfig::qos is the cluster-level (pool) declaration; ClusterSim
@@ -121,6 +130,12 @@ class Osd : public net::Receiver {
   sim::CoTask<std::uint64_t> push_pg(std::uint32_t pgid, Osd& target);
   /// Install one recovered object (charged as a light apply).
   sim::CoTask<void> recover_object(const fs::ObjectId& oid, fs::FileStore::ObjectExport data);
+  /// Recovery support: wait until the object's journaled writes have reached
+  /// the filestore (public face of the ondisk-read gate; EC shard rebuild
+  /// must not export a shard the filestore is still behind on).
+  sim::CoTask<void> wait_object_flushed(const fs::ObjectId& oid) {
+    return wait_object_readable(oid);
+  }
   /// The daemon died (fault injection): its RAM — the op ledger and the
   /// ordered-ack bookkeeping — is gone. Journal and filestore state
   /// survive on media; coroutines already in flight keep running as
@@ -182,6 +197,20 @@ class Osd : public net::Receiver {
   sim::CoTask<void> process_replica_op(WorkItem& item);
   sim::CoTask<void> process_rep_reply_locked(WorkItem& item);  // community
   sim::CoTask<void> process_ack_locked(WorkItem& item);        // community
+
+  // --- erasure coding (every member inert unless the pool is erasure) ----
+  sim::CoTask<void> process_client_write_ec(WorkItem& item);
+  sim::CoTask<void> process_client_read_ec(WorkItem& item);
+  /// Detached shard-gather for one striped read: the PG critical section is
+  /// released first, so a partitioned shard holder's ec_read_timeout never
+  /// blocks the PG's other ops.
+  sim::CoTask<void> ec_read_gather(OpRef op);
+  sim::CoTask<void> serve_shard_read(std::shared_ptr<ShardReadMsg> msg,
+                                     net::Connection* conn);
+  void handle_shard_read_reply(std::shared_ptr<ShardReadReplyMsg> msg);
+  void send_read_reply(OpRef& op, bool ok, std::uint64_t data_len,
+                       std::optional<std::vector<std::uint8_t>> data);
+  bool osd_up(std::uint32_t osd_id) const;
 
   // --- metadata ---------------------------------------------------------
   sim::CoTask<ObjectMeta> ensure_object_meta(const fs::ObjectId& oid);
@@ -261,6 +290,23 @@ class Osd : public net::Receiver {
   MetaCache meta_cache_;
 
   std::unique_ptr<QosScheduler> qos_;  // null unless cfg_.qos.enabled
+  std::unique_ptr<ec::Codec> codec_;   // null unless the pool is erasure
+  /// In-flight shard gathers, keyed by rid. The ShardGather lives on the
+  /// gather coroutine's frame; this map only routes replies to it, so
+  /// on_crash() just clears the map (the gather times out as a zombie).
+  struct GatherChunk {
+    std::uint64_t len = 0;
+    std::optional<std::vector<std::uint8_t>> bytes;
+  };
+  struct ShardGather {
+    explicit ShardGather(sim::Simulation& s) : cv(s) {}
+    sim::CondVar cv;
+    std::map<unsigned, GatherChunk> good;  // shard position -> chunk
+    std::set<unsigned> bad;                // missing / corrupt / unreachable
+    std::set<unsigned> waiting;            // requests not yet answered
+  };
+  std::unordered_map<std::uint64_t, ShardGather*> shard_gathers_;
+  std::uint64_t next_shard_rid_ = 1;
   std::unordered_map<std::uint32_t, std::unique_ptr<Pg>> pgs_;
   std::unordered_map<std::uint32_t, net::Connection*> peers_;
   std::vector<std::unique_ptr<sim::Channel<WorkItem>>> shard_queues_;
