@@ -145,6 +145,7 @@ RunDigest run_once(std::uint64_t seed, const fault::FaultPlan& plan, bool instal
 /// determinism on top of the per-run invariants.
 struct CorruptionDigest {
   RunDigest run;
+  std::uint64_t deferred_writes = 0;  // FlashStore: payloads that rode the WAL
   std::uint64_t torn_entries = 0;     // injector: entries lost or torn
   std::uint64_t replayed = 0;         // records re-applied from local rings
   std::uint64_t torn_tails = 0;       // replay scans stopped at a torn record
@@ -163,9 +164,11 @@ struct CorruptionDigest {
 /// tear osd 2's and flip a retained record while it is down (replay stops
 /// at the bad CRC), then flip data extents on osds 2 and 3 after the drain
 /// and let deep scrub find and repair them.
-CorruptionDigest run_corruption(std::uint64_t seed) {
+CorruptionDigest run_corruption(std::uint64_t seed,
+                                store::Backend backend = store::Backend::kFile) {
   core::ClusterConfig cfg = chaos_config();
   cfg.seed = seed;
+  cfg.store_backend = backend;
   core::ClusterSim cluster(cfg);
 
   fault::FaultPlan plan;
@@ -200,6 +203,7 @@ CorruptionDigest run_corruption(std::uint64_t seed) {
   c.crc_failures = rr.journal_crc_failures;
   for (std::size_t o = 0; o < cluster.osd_count(); o++) {
     c.backfill_skipped += cluster.osd(o).counters().get("osd.backfill_skipped");
+    c.deferred_writes += cluster.osd(o).counters().get("flash.deferred_writes");
   }
 
   sim::spawn_fn([&cluster, &c]() -> sim::CoTask<void> {
@@ -315,7 +319,7 @@ void check_invariants(const char* label, const RunDigest& d) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--leg=<empty|directed|random|corruption|ec>` runs one leg (scripts/check.sh
+  // `--leg=<empty|directed|random|corruption|store|ec>` runs one leg (scripts/check.sh
   // uses this to give the sanitizer build separate, faster invocations);
   // no argument runs them all.
   std::string leg;
@@ -323,7 +327,14 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--leg=", 0) == 0) leg = arg.substr(6);
   }
-  const auto runs = [&leg](const char* name) { return leg.empty() || leg == name; };
+  // Fail fast on a leg name that matches nothing: a typo in a CI
+  // invocation must not become a silently-passing no-op run.
+  int legs_run = 0;
+  const auto runs = [&leg, &legs_run](const char* name) {
+    const bool r = leg.empty() || leg == name;
+    if (r) legs_run++;
+    return r;
+  };
 
   std::printf("chaos soak: 4 OSDs rep=2 min_size=1, 4 VMs 4K random write, "
               "rep_timeout=40ms client_timeout=250ms\n\n");
@@ -397,6 +408,42 @@ int main(int argc, char** argv) {
     expect(a == b, "corruption plan: same seed must reproduce byte-identical digests");
   }
 
+  // --- FlashStore backend under the same corruption stack -----------------
+  if (runs("store")) {
+    std::printf("\n[store plan] FlashStore backend: torn WAL, flipped record, data flips\n");
+    const CorruptionDigest a = run_corruption(42, store::Backend::kFlash);
+    const CorruptionDigest b = run_corruption(42, store::Backend::kFlash);
+    std::printf("  deferred_writes=%llu torn_entries=%llu replayed=%llu torn_tails=%llu "
+                "crc_failures=%llu\n"
+                "  scrub: inconsistent=%llu repaired=%llu after-repair inconsistent=%llu "
+                "missing=%llu\n",
+                (unsigned long long)a.deferred_writes, (unsigned long long)a.torn_entries,
+                (unsigned long long)a.replayed, (unsigned long long)a.torn_tails,
+                (unsigned long long)a.crc_failures,
+                (unsigned long long)a.detect_inconsistent, (unsigned long long)a.repaired,
+                (unsigned long long)a.verify_inconsistent,
+                (unsigned long long)a.verify_missing);
+    // Replicated invariants hold on the raw-device backend: exactly-once
+    // ack-or-fail, nothing pending, no ack below min_size.
+    check_invariants("store", a.run);
+    // The 4K writes ride the deferred-write WAL, the tears hit that ring,
+    // and restart replays the surviving records through apply_transaction.
+    expect(a.deferred_writes > 0, "store: 4K writes must ride the deferred-write WAL");
+    expect(a.torn_entries > 0, "store: tears must hit queued WAL entries");
+    expect(a.replayed > 0, "store: restart must replay locally durable WAL records");
+    expect(a.torn_tails > 0, "store: replay must stop at a torn tail");
+    expect(a.crc_failures > 0, "store: replay must stop at the flipped record");
+    // Scrub convergence: detect the flipped extents, repair from healthy
+    // peers, and come back clean.
+    expect(a.scrub_done, "store: scrub pass did not finish");
+    expect(a.detect_inconsistent >= 2, "store: scrub must detect both bit flips");
+    expect(a.repaired >= a.detect_inconsistent,
+           "store: repair must cover every inconsistency");
+    expect(a.verify_inconsistent == 0 && a.verify_missing == 0,
+           "store: re-scrub after repair must be clean");
+    expect(a == b, "store plan: same seed must reproduce byte-identical digests");
+  }
+
   // --- erasure-coded pool under the full fault stack ----------------------
   if (runs("ec")) {
     std::printf("\n[ec plan] 8 OSDs EC(4+2), 70/30 write/read\n");
@@ -448,6 +495,13 @@ int main(int argc, char** argv) {
                        ": same seed must reproduce byte-identical digests");
   }
 
+  if (legs_run == 0) {
+    std::fprintf(stderr,
+                 "chaos: unknown --leg='%s' "
+                 "(expected empty|directed|random|corruption|store|ec)\n",
+                 leg.c_str());
+    return 2;
+  }
   std::printf("\nchaos soak: %s (%d invariant failures)\n",
               g_failures == 0 ? "PASS" : "FAIL", g_failures);
   return g_failures == 0 ? 0 : 1;

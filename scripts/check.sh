@@ -4,8 +4,9 @@
 # the exported Chrome trace JSON), validate the committed BENCH_*.json perf
 # trajectory, run the transport perf-smoke (fig13 ladder + default-off
 # byte-identity), run the QoS and EC smokes (fig14/fig15 gates), run the
-# chaos fault-injection soak, re-run that soak under
-# ASan+UBSan, then run the rt/ concurrency stress harness natively and under
+# store-backend perf smoke (fig16 gate: FlashStore >= FileStore), run the
+# chaos fault-injection soak (all legs, including the FlashStore store
+# leg), re-run that soak under ASan+UBSan, then run the rt/ concurrency stress harness natively and under
 # ThreadSanitizer. Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -67,6 +68,16 @@ python3 -m json.tool "$EC_JSON" > /dev/null
 echo "ec-smoke OK (EC write p99 bounded vs 3-rep; $EC_JSON valid)"
 
 echo
+echo "=== store-backend smoke (fig16 perf gate: FlashStore >= FileStore) ==="
+# The harness is the gate: sustained 4K random write on the raw-device
+# backend must not regress below FileStore-optimized, or it exits non-zero.
+STORE_JSON="$BUILD_DIR/bench_store_smoke.json"
+rm -f "$STORE_JSON"
+AFC_BENCH_JSON="$STORE_JSON" "$BUILD_DIR/bench/fig16_store" --smoke
+python3 -m json.tool "$STORE_JSON" > /dev/null
+echo "store-smoke OK (flash >= file on sustained 4K random write; $STORE_JSON valid)"
+
+echo
 echo "=== transport byte-identity (all switches off == explicit community rung) ==="
 # The default-constructed net config IS the community rung; forcing it via
 # the env override must not change a byte of the paper figures.
@@ -77,6 +88,16 @@ cmp "$BUILD_DIR/fig01_default.txt" "$BUILD_DIR/fig01_community.txt"
 AFC_NET_TRANSPORT=community "$BUILD_DIR/bench/fig03_latency_breakdown" > "$BUILD_DIR/fig03_community.txt"
 cmp "$BUILD_DIR/fig03_default.txt" "$BUILD_DIR/fig03_community.txt"
 echo "fig01/fig03 byte-identical with switches off"
+
+echo
+echo "=== store byte-identity (default == explicit FileStore backend) ==="
+# store=file is the default rung; forcing it via AFC_STORE must not change
+# a byte of the paper figures.
+AFC_STORE=file "$BUILD_DIR/bench/fig01_baseline" > "$BUILD_DIR/fig01_storefile.txt"
+cmp "$BUILD_DIR/fig01_default.txt" "$BUILD_DIR/fig01_storefile.txt"
+AFC_STORE=file "$BUILD_DIR/bench/fig03_latency_breakdown" > "$BUILD_DIR/fig03_storefile.txt"
+cmp "$BUILD_DIR/fig03_default.txt" "$BUILD_DIR/fig03_storefile.txt"
+echo "fig01/fig03 byte-identical with AFC_STORE=file"
 
 echo
 echo "=== bench/chaos (fault injection + recovery invariants) ==="
@@ -102,6 +123,11 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos" --leg=ec
+# The store leg: FlashStore's WAL replay, deferred-ledger bookkeeping and
+# extent COW run under the same torn/flip stack — raw record bytes again.
+LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  "$ASAN_BUILD_DIR/bench/chaos" --leg=store
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos"

@@ -89,9 +89,21 @@ bool BenchJson::record(const BenchRecord& rec) {
   entry += format_record(rec);
   entry += "\n";
   body.insert(cut, entry);
-  std::ofstream out(file, std::ios::binary | std::ios::trunc);
-  if (!out || !(out << body)) {
-    std::fprintf(stderr, "BenchJson: failed writing %s\n", file.c_str());
+  // Crash-safe append: write the whole document to a sibling temp file and
+  // rename it into place. A crash (or fault-injected kill) mid-write leaves
+  // either the old complete file or the new complete file, never a torn one.
+  const std::string tmp = file + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << body) || !out.flush()) {
+      std::fprintf(stderr, "BenchJson: failed writing %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), file.c_str()) != 0) {
+    std::fprintf(stderr, "BenchJson: failed renaming %s into place\n", tmp.c_str());
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

@@ -31,7 +31,9 @@ struct BenchRecord {
 /// call it unconditionally. The file is self-contained JSON —
 /// `{"schema":"afc-bench-v1","runs":[...]}` — validated by check.sh with
 /// `python3 -m json.tool`; append splices into our own format only, and a
-/// corrupt/foreign file is reported, not overwritten. AFC_BENCH_LABEL, when
+/// corrupt/foreign file is reported, not overwritten. Appends are
+/// crash-safe: the updated document is written to a `.tmp` sibling and
+/// renamed into place, so an interrupted run never leaves a torn file. AFC_BENCH_LABEL, when
 /// set, stamps each record (e.g. a PR number) so trajectories across
 /// commits stay attributable.
 class BenchJson {

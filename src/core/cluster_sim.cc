@@ -57,6 +57,16 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
       std::fprintf(stderr, "AFC_NET_TRANSPORT: unknown rung '%s' (ignored)\n", t);
     }
   }
+  // AFC_STORE overrides the object-store backend the same way (file /
+  // flash) — check.sh uses it to prove store=file is byte-identical to the
+  // default, and fig16 compares the two backends end-to-end.
+  if (const char* s = std::getenv("AFC_STORE"); s != nullptr && s[0] != '\0') {
+    if (auto backend = store::parse_backend(s)) {
+      cfg_.store_backend = *backend;
+    } else {
+      std::fprintf(stderr, "AFC_STORE: unknown backend '%s' (ignored)\n", s);
+    }
+  }
   // Pool-level QoS plumbing: the cluster-wide TenantProfile table becomes
   // every OSD's scheduler config (add_node() inherits it the same way).
   cfg_.osd.qos = cfg_.qos;
@@ -72,10 +82,16 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
   } else {
     cfg_.fs.page_cache_pages = 262144;  // 1 GiB: small images stay resident
   }
+  // The flash backend sees the same pre-fill state and RAM budget as the
+  // file backend — backend choice must not smuggle in a cache-size edge.
+  cfg_.flash.assume_populated = cfg_.fs.assume_populated;
+  cfg_.flash.page_cache_pages = cfg_.fs.page_cache_pages;
 
   const osd::ThrottleSet::Config throttle_cfg = cfg_.profile.ssd_throttles
                                                     ? osd::ThrottleSet::Config::ssd_tuned()
                                                     : osd::ThrottleSet::Config::community();
+
+  const store::StoreConfig store_cfg{cfg_.store_backend, cfg_.fs, cfg_.flash};
 
   // --- nodes, devices, OSDs --------------------------------------------
   const unsigned total_osds = cfg_.osd_nodes * cfg_.osds_per_node;
@@ -100,7 +116,7 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     ssds_.push_back(std::make_unique<dev::SsdModel>(sim_, "ssd." + std::to_string(i), ssd_cfg));
     osds_.push_back(std::make_unique<osd::Osd>(
         sim_, *osd_nodes_[node], *nvrams_[node], *ssds_[i], cmap_, i, cfg_.osd, cfg_.profile,
-        cfg_.fs, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
+        store_cfg, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
     if (auto* tr = trace::Collector::active()) {
       tr->name_track(trace::osd_track(i), "osd." + std::to_string(i));
     }
@@ -354,6 +370,7 @@ sim::CoTask<std::uint64_t> ClusterSim::add_node() {
   const net::Connection::Config cluster_net = net::NetProfile::cluster(cfg_.net);
   const net::Connection::Config client_net =
       net::NetProfile::client(cfg_.net, !cfg_.profile.disable_nagle);
+  const store::StoreConfig store_cfg{cfg_.store_backend, cfg_.fs, cfg_.flash};
 
   const std::size_t first_new = osds_.size();
   for (unsigned k = 0; k < cfg_.osds_per_node; k++) {
@@ -365,7 +382,7 @@ sim::CoTask<std::uint64_t> ClusterSim::add_node() {
     ssds_.push_back(std::make_unique<dev::SsdModel>(sim_, "ssd." + std::to_string(id), ssd_cfg));
     osds_.push_back(std::make_unique<osd::Osd>(
         sim_, *osd_nodes_[node_index], *nvrams_[node_index], *ssds_[id], cmap_, id, cfg_.osd,
-        cfg_.profile, cfg_.fs, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
+        cfg_.profile, store_cfg, cfg_.kv, throttle_cfg, cfg_.log, cfg_.journal));
     if (auto* tr = trace::Collector::active()) {
       tr->name_track(trace::osd_track(id), "osd." + std::to_string(id));
     }

@@ -67,6 +67,12 @@ struct ClusterConfig {
   dev::SsdModel::Config ssd;
   dev::NvramModel::Config nvram;
   fs::FileStore::Config fs;
+  /// Object-store backend per OSD: kFile (FileStore + external NVRAM
+  /// journal — the default, byte-identical to the pre-FlashStore tree) or
+  /// kFlash (raw-device FlashStore). AFC_STORE=file|flash overrides it at
+  /// runtime without touching bench code.
+  store::Backend store_backend = store::Backend::kFile;
+  store::FlashStore::Config flash;
   kv::Db::Config kv;
   fs::Journal::Config journal;
   net::Connection::Config net;

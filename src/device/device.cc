@@ -11,7 +11,7 @@ void Device::start(Submit* s) {
   } else {
     inflight_writes_++;
   }
-  const Time lat = latency_time(s->type_, s->off_, s->len_);
+  const Time lat = latency_time(s->type_, s->off_, s->len_, s->stream_);
   if (lat == 0) {
     bus_enqueue(s);
   } else {

@@ -37,8 +37,8 @@ class Device {
 
   class Submit {
    public:
-    Submit(Device& d, IoType t, std::uint64_t off, std::uint64_t len)
-        : d_(d), type_(t), off_(off), len_(len) {}
+    Submit(Device& d, IoType t, std::uint64_t off, std::uint64_t len, unsigned stream = 0)
+        : d_(d), type_(t), off_(off), len_(len), stream_(stream) {}
     bool await_ready() const { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       handle_ = h;
@@ -58,15 +58,21 @@ class Device {
     IoType type_;
     std::uint64_t off_;
     std::uint64_t len_;
+    unsigned stream_;
     Time t0_ = 0;
     std::coroutine_handle<> handle_;
   };
 
   /// Perform one I/O: resumes when the I/O is durable (write) or data is
   /// available (read). Latency includes channel queueing, the model
-  /// latency, bus queueing and the transfer itself.
-  Submit submit(IoType type, std::uint64_t offset, std::uint64_t len) {
-    return Submit(*this, type, offset, len);
+  /// latency, bus queueing and the transfer itself. `stream` is a write
+  /// placement hint (multi-stream SSDs, T10 SBC-4): 0 means "no hint" and
+  /// every device model treats it exactly like the pre-stream behaviour;
+  /// non-zero ids let stream-aware models (SsdModel) segregate writes by
+  /// origin and reward the reduced GC write-amplification.
+  Submit submit(IoType type, std::uint64_t offset, std::uint64_t len,
+                unsigned stream = 0) {
+    return Submit(*this, type, offset, len, stream);
   }
 
   const std::string& name() const { return name_; }
@@ -90,8 +96,10 @@ class Device {
 
  protected:
   /// Positioning / program latency for one I/O once a channel is granted
-  /// (in-flight counters include this I/O).
-  virtual Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len) = 0;
+  /// (in-flight counters include this I/O). `stream` is the placement hint
+  /// from submit(); models without stream awareness ignore it.
+  virtual Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len,
+                            unsigned stream) = 0;
   /// Wire time at full aggregate bandwidth.
   virtual Time transfer_time(IoType type, std::uint64_t len) = 0;
 

@@ -25,7 +25,8 @@ class HddModel : public Device {
   HddModel(sim::Simulation& sim, std::string name) : HddModel(sim, std::move(name), Config{}) {}
 
  protected:
-  Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len) override {
+  Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len,
+                    unsigned /*stream*/) override {
     const bool sequential = offset == next_expected_ && offset != 0;
     next_expected_ = offset + len;
     if (type == IoType::kFlush) return 500 * kMicrosecond;

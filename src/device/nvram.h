@@ -23,7 +23,8 @@ class NvramModel : public Device {
       : NvramModel(sim, std::move(name), Config{}) {}
 
  protected:
-  Time latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t /*len*/) override {
+  Time latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t /*len*/,
+                    unsigned /*stream*/) override {
     return type == IoType::kRead ? cfg_.read_latency : cfg_.write_latency;
   }
   Time transfer_time(IoType /*type*/, std::uint64_t len) override {

@@ -7,7 +7,8 @@ SsdModel::SsdModel(sim::Simulation& sim, std::string name, const Config& cfg)
       cfg_(cfg),
       sustained_(cfg.sustained) {}
 
-Time SsdModel::latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t len) {
+Time SsdModel::latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t len,
+                            unsigned stream) {
   if (type == IoType::kRead) {
     double t = double(cfg_.read_latency);
     if (inflight_writes() > 0) t += double(cfg_.mixed_read_penalty);
@@ -22,12 +23,19 @@ Time SsdModel::latency_time(IoType type, std::uint64_t /*offset*/, std::uint64_t
       sustained_since_ = sim_.now();
     }
   }
+  const bool hinted = stream != 0 && cfg_.stream_count != 0;
+  if (hinted) stream_writes_++;
   double t = double(cfg_.write_latency);
   if (sustained_) {
     // GC punishes small random writes (full read-modify-write of flash
-    // blocks) much harder than large streaming ones.
-    t *= len < cfg_.seq_threshold ? cfg_.sustained_write_factor : cfg_.sustained_seq_factor;
-    bytes_since_gc_ += len;
+    // blocks) much harder than large streaming ones. Stream-hinted writes
+    // are segregated into per-stream erase blocks: data with one owner and
+    // one lifetime invalidates together, so GC relocates little of it.
+    const double small_factor =
+        hinted ? cfg_.stream_write_factor : cfg_.sustained_write_factor;
+    t *= len < cfg_.seq_threshold ? small_factor : cfg_.sustained_seq_factor;
+    bytes_since_gc_ +=
+        hinted ? std::uint64_t(double(len) / cfg_.stream_gc_relief) : len;
     const std::uint64_t interval = cfg_.gc_interval_bytes * cfg_.drives;
     if (bytes_since_gc_ >= interval) {
       bytes_since_gc_ -= interval;

@@ -39,6 +39,17 @@ class SsdModel : public Device {
     /// (the FTL's pre-erased pool runs out and GC starts). 0 = never (the
     /// run stays in its initial state).
     std::uint64_t clean_budget_bytes = 0;
+    /// Multi-stream write support (per-object streams, "Enlightening Flash
+    /// Storage to Stream Writes by Objects"): writes carrying a non-zero
+    /// stream hint land in per-stream erase blocks, so GC relocates far
+    /// less live data. Hinted sustained writes pay `stream_write_factor`
+    /// instead of `sustained_write_factor` below the seq threshold, and
+    /// only 1/`stream_gc_relief` of their bytes count toward the GC-pause
+    /// interval. 0 streams disables awareness (hints are ignored);
+    /// unhinted writes are never affected either way.
+    unsigned stream_count = 8;
+    double stream_write_factor = 2.0;
+    double stream_gc_relief = 4.0;
   };
 
   SsdModel(sim::Simulation& sim, std::string name, const Config& cfg);
@@ -46,6 +57,15 @@ class SsdModel : public Device {
   void set_sustained(bool s) { sustained_ = s; }
   bool sustained() const { return sustained_; }
   std::uint64_t gc_stalls() const { return gc_stalls_; }
+  std::uint64_t bytes_since_gc() const { return bytes_since_gc_; }
+  std::uint64_t stream_writes() const { return stream_writes_; }
+
+  /// The daemon this drive backs crashed and came back (fault injection).
+  /// The FTL idles through the downtime and catches up on its deferred
+  /// erase work, so the partial progress toward the next GC pause does not
+  /// leak into the revived daemon's first writes. Cumulative wear state
+  /// (gc_stalls_, clean_written_, sustained_) is physical and survives.
+  void note_daemon_restart() { bytes_since_gc_ = 0; }
 
   /// Latency-outlier injection (fault plans): per-command latency is
   /// multiplied by `f` until reset to 1.0 — a drive whose FTL has gone into
@@ -59,7 +79,8 @@ class SsdModel : public Device {
   Time sustained_since() const { return sustained_since_; }
 
  protected:
-  Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len) override;
+  Time latency_time(IoType type, std::uint64_t offset, std::uint64_t len,
+                    unsigned stream) override;
   Time transfer_time(IoType type, std::uint64_t len) override;
 
  private:
@@ -69,6 +90,7 @@ class SsdModel : public Device {
   std::uint64_t bytes_since_gc_ = 0;
   std::uint64_t gc_stalls_ = 0;
   std::uint64_t clean_written_ = 0;
+  std::uint64_t stream_writes_ = 0;
   Time sustained_since_ = 0;
 };
 

@@ -78,20 +78,37 @@ void FaultInjector::apply(std::size_t idx) {
       break;
     }
     case FaultKind::kJournalStall:
+      // Every write-ahead ring the OSD owns stalls: a device hiccup does not
+      // pick between the external journal and a store-internal WAL.
       osds_[e.osd]->journal().stall_until(sim_.now() + e.duration);
+      if (fs::Journal* w = osds_[e.osd]->store().wal(); w != nullptr) {
+        w->stall_until(sim_.now() + e.duration);
+      }
       break;
     case FaultKind::kBitFlip: {
       // Seeded per event so two flips in one plan pick independent victims.
       const std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ull * (idx + 1));
-      const bool hit = e.media == 1   ? osds_[e.osd]->journal().corrupt_record(s)
-                       : e.media == 2 ? corrupt_parity_shard(e.osd, s)
-                                      : corrupt_scrubbed_object(e.osd, s);
+      bool hit;
+      if (e.media == 1) {
+        // Journal media: the external ring, or — when the store owns the
+        // only write-ahead ring (FlashStore) — that store's WAL.
+        hit = osds_[e.osd]->journal().corrupt_record(s);
+        if (fs::Journal* w = osds_[e.osd]->store().wal(); !hit && w != nullptr) {
+          hit = w->corrupt_record(s);
+        }
+      } else {
+        hit = e.media == 2 ? corrupt_parity_shard(e.osd, s)
+                           : corrupt_scrubbed_object(e.osd, s);
+      }
       if (!hit) counters_.add("fault.bit_flip_noop");
       break;
     }
     case FaultKind::kTornWrite: {
-      const std::size_t torn = osds_[e.osd]->journal().inject_torn_write(
-          seed_ ^ (0x9e3779b97f4a7c15ull * (idx + 1)));
+      const std::uint64_t s = seed_ ^ (0x9e3779b97f4a7c15ull * (idx + 1));
+      std::size_t torn = osds_[e.osd]->journal().inject_torn_write(s);
+      if (fs::Journal* w = osds_[e.osd]->store().wal(); w != nullptr) {
+        torn += w->inject_torn_write(s);
+      }
       if (torn > 0) counters_.add("fault.torn_entries", torn);
       // The tear is the last thing the daemon does: it dies mid-persist.
       do_crash(e.osd);
@@ -204,6 +221,10 @@ void FaultInjector::do_crash(std::uint32_t osd) {
 
 void FaultInjector::do_restart(std::uint32_t osd) {
   if (cmap_.crush().osds()[osd].up) return;  // never crashed / already back
+  // The FTL idled through the downtime and caught up on deferred erase
+  // work; the fresh daemon does not inherit the dead one's GC debt. (Wear
+  // counters — gc_stalls, clean budget — survive: they are media state.)
+  if (osd < ssds_.size()) ssds_[osd]->note_daemon_restart();
   sim::spawn_fn([this, osd]() -> sim::CoTask<void> {
     // Journal replay runs to completion while the daemon is still down
     // (marked out, blackholed): locally durable writes come back from the

@@ -62,80 +62,29 @@ sim::CoTask<void> FileStore::drain() {
   while (!wb_queue_.empty() || wb_inflight_ > 0) co_await wb_idle_cv_.wait();
 }
 
-std::uint64_t FileStore::object_hash(const ObjectId& oid) {
-  return ObjectIdHash{}(oid) | 1;  // never 0 (0 reserved)
-}
-
-std::uint64_t FileStore::populated_seed(const ObjectId& oid) {
-  return object_hash(oid) ^ 0xfeedfacecafebeefull;
-}
-
 bool FileStore::implicitly_exists(const ObjectId& oid) const {
-  return cfg_.assume_populated && objects_.find(oid) == objects_.end();
-}
-
-const FileStore::Object* FileStore::find_object(const ObjectId& oid) const {
-  auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : &it->second;
+  return cfg_.assume_populated && !objects_.contains(oid);
 }
 
 FileStore::Object& FileStore::materialize_object(const ObjectId& oid) {
-  auto it = objects_.find(oid);
-  if (it != objects_.end()) return it->second;
-  Object obj;
+  if (Object* existing = objects_.find(oid); existing != nullptr) return *existing;
+  Object& obj = objects_.get_or_create(oid);
   if (cfg_.assume_populated) {
     // The cluster is pre-filled: this object already holds data and
     // metadata from before the measurement window.
     obj.size = cfg_.populated_object_size;
-    obj.extents.emplace(
-        0, make_extent(Payload::pattern(cfg_.populated_object_size, populated_seed(oid))));
+    obj.extents.emplace(0, store::ExtentMap::make_extent(Payload::pattern(
+                               cfg_.populated_object_size, populated_seed(oid))));
     obj.xattrs.emplace("_", kv::Value::virt(std::uint32_t(cfg_.populated_xattr_bytes)));
     obj.xattrs.emplace("snapset", kv::Value::virt(31));
   }
-  return objects_.emplace(oid, std::move(obj)).first->second;
+  return obj;
 }
 
 sim::CoTask<void> FileStore::charge_syscalls(unsigned n) {
   syscalls_ += n;
   if (counters_ != nullptr) counters_->add("fs.syscalls", n);
   co_await cpu_.consume(Time(double(cfg_.syscall_cpu) * n * cfg_.cpu_multiplier));
-}
-
-void FileStore::write_extent(Object& obj, std::uint64_t off, Payload data) {
-  const std::uint64_t end = off + data.size();
-  if (data.size() == 0) return;
-  // Remove / trim extents overlapping [off, end).
-  auto it = obj.extents.lower_bound(off);
-  if (it != obj.extents.begin()) {
-    auto prev = std::prev(it);
-    const std::uint64_t pstart = prev->first;
-    const std::uint64_t pend = pstart + prev->second.data.size();
-    if (pend > off) {
-      // Previous extent overlaps from the left: keep its head, and if it
-      // extends past our end, keep its tail too.
-      Extent tail{};
-      const bool has_tail = pend > end;
-      if (has_tail) tail = make_extent(prev->second.data.slice(end - pstart, pend - end));
-      prev->second = make_extent(prev->second.data.slice(0, off - pstart));
-      if (prev->second.data.size() == 0) obj.extents.erase(prev);
-      if (has_tail) obj.extents.emplace(end, std::move(tail));
-    }
-  }
-  it = obj.extents.lower_bound(off);
-  while (it != obj.extents.end() && it->first < end) {
-    const std::uint64_t estart = it->first;
-    const std::uint64_t eend = estart + it->second.data.size();
-    if (eend <= end) {
-      it = obj.extents.erase(it);
-    } else {
-      Extent tail = make_extent(it->second.data.slice(end - estart, eend - end));
-      obj.extents.erase(it);
-      obj.extents.emplace(end, std::move(tail));
-      break;
-    }
-  }
-  obj.extents.emplace(off, make_extent(std::move(data)));
-  if (end > obj.size) obj.size = end;
 }
 
 sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool lightweight) {
@@ -154,7 +103,7 @@ sim::CoTask<void> FileStore::apply_transaction(const Transaction& tx, bool light
         Object& obj = materialize_object(op.oid);
         const std::uint64_t len = op.data.size();
         cache_.insert_range(object_hash(op.oid), op.offset, len);
-        write_extent(obj, op.offset, op.data);
+        store::ExtentMap::write_extent(obj, op.offset, op.data);
         data_bytes_written_ += len;
         if (lightweight) {
           co_await buffer_write(len);  // buffered; writeback hits the device
@@ -213,7 +162,7 @@ sim::CoTask<FileStore::ReadResult> FileStore::read(const ObjectId& oid, std::uin
                                                    std::uint64_t len, bool want_data) {
   ReadResult result;
   co_await charge_syscalls(1);
-  const Object* obj = find_object(oid);
+  const Object* obj = objects_.find(oid);
   const bool implicit = obj == nullptr && cfg_.assume_populated;
   if (obj == nullptr && !implicit) co_return result;
 
@@ -237,21 +186,11 @@ sim::CoTask<FileStore::ReadResult> FileStore::read(const ObjectId& oid, std::uin
   result.found = true;
   result.length = n;
   if (want_data) {
-    std::vector<std::uint8_t> out(n, 0);
     if (implicit) {
-      auto bytes = Payload::pattern(n, populated_seed(oid), off).materialize();
-      out = std::move(bytes);
+      result.data = Payload::pattern(n, populated_seed(oid), off).materialize();
     } else {
-      for (const auto& [estart, ext] : obj->extents) {
-        const std::uint64_t eend = estart + ext.data.size();
-        if (eend <= off || estart >= off + n) continue;
-        const std::uint64_t from = std::max(estart, off);
-        const std::uint64_t to = std::min(eend, off + n);
-        auto piece = ext.data.slice(from - estart, to - from).materialize();
-        std::copy(piece.begin(), piece.end(), out.begin() + long(from - off));
-      }
+      result.data = store::ExtentMap::assemble(*obj, off, n);
     }
-    result.data = std::move(out);
   }
   co_return result;
 }
@@ -266,7 +205,7 @@ sim::CoTask<std::optional<kv::Value>> FileStore::getattr(const ObjectId& oid,
     co_await dev_.submit(dev::IoType::kRead, 0, 4096);
     cache_.insert(oh, kMetaPage);
   }
-  const Object* obj = find_object(oid);
+  const Object* obj = objects_.find(oid);
   if (obj == nullptr) {
     if (cfg_.assume_populated) {
       if (name == "_") co_return kv::Value::virt(std::uint32_t(cfg_.populated_xattr_bytes));
@@ -288,80 +227,15 @@ sim::CoTask<std::optional<std::uint64_t>> FileStore::stat(const ObjectId& oid) {
     co_await dev_.submit(dev::IoType::kRead, 0, 4096);
     cache_.insert(oh, kMetaPage);
   }
-  const Object* obj = find_object(oid);
+  const Object* obj = objects_.find(oid);
   if (obj != nullptr) co_return obj->size;
   if (cfg_.assume_populated) co_return cfg_.populated_object_size;
   co_return std::nullopt;
 }
 
 std::uint64_t FileStore::object_size(const ObjectId& oid) const {
-  const Object* obj = find_object(oid);
+  const Object* obj = objects_.find(oid);
   return obj != nullptr ? obj->size : 0;
-}
-
-std::vector<ObjectId> FileStore::objects_in_pg(std::uint32_t pg) const {
-  std::vector<ObjectId> out;
-  for (const auto& [oid, obj] : objects_) {
-    if (oid.pg == pg) out.push_back(oid);
-  }
-  return out;
-}
-
-std::uint64_t FileStore::object_fingerprint(const ObjectId& oid) const {
-  const Object* obj = find_object(oid);
-  if (obj == nullptr) return 0;
-  std::uint64_t h = 0xcbf29ce484222325ull ^ obj->size;
-  for (const auto& [off, ext] : obj->extents) {
-    h ^= off + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    h ^= ext.data.fingerprint() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  }
-  return h;
-}
-
-bool FileStore::corrupt_object(const ObjectId& oid) {
-  auto it = objects_.find(oid);
-  if (it == objects_.end() || it->second.extents.empty()) return false;
-  auto& ext = it->second.extents.begin()->second;
-  auto bytes = ext.data.materialize();
-  if (bytes.empty()) return false;
-  bytes[bytes.size() / 2] ^= 0x5a;
-  // Bypasses make_extent on purpose: the recorded csum goes stale, exactly
-  // like media rot under a checksum written at write time.
-  ext.data = Payload::bytes(std::move(bytes));
-  return true;
-}
-
-std::optional<ObjectId> FileStore::corrupt_some_object(std::uint64_t seed) {
-  std::vector<ObjectId> oids;
-  oids.reserve(objects_.size());
-  for (const auto& [oid, obj] : objects_) {
-    if (!obj.extents.empty()) oids.push_back(oid);
-  }
-  if (oids.empty()) return std::nullopt;
-  std::sort(oids.begin(), oids.end());  // seeded pick independent of hash order
-  Rng rng(seed ^ 0xB17F11Dull);
-  ObjectId victim = oids[rng.uniform_int(0, oids.size() - 1)];
-  if (!corrupt_object(victim)) return std::nullopt;
-  return victim;
-}
-
-bool FileStore::verify_object(const ObjectId& oid) const {
-  const Object* obj = find_object(oid);
-  if (obj == nullptr) return true;
-  for (const auto& [off, ext] : obj->extents) {
-    if (ext.data.fingerprint() != ext.csum) return false;
-  }
-  return true;
-}
-
-FileStore::ObjectExport FileStore::export_object(const ObjectId& oid) const {
-  ObjectExport out;
-  const Object* obj = find_object(oid);
-  if (obj == nullptr) return out;
-  out.size = obj->size;
-  for (const auto& [off, ext] : obj->extents) out.extents.emplace_back(off, ext.data);
-  for (const auto& [k, v] : obj->xattrs) out.xattrs.emplace_back(k, v);
-  return out;
 }
 
 }  // namespace afc::fs

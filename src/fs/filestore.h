@@ -10,6 +10,7 @@
 #include "fs/transaction.h"
 #include "kv/db.h"
 #include "sim/cpu.h"
+#include "store/object_store.h"
 
 namespace afc::fs {
 
@@ -28,7 +29,7 @@ namespace afc::fs {
 ///    exist implicitly with 4 MiB of (virtual) data, so writes are
 ///    overwrites that need metadata, without allocating per-object state up
 ///    front.
-class FileStore {
+class FileStore final : public store::ObjectStore {
  public:
   struct Config {
     Time syscall_cpu = 1300;                 // ns per syscall
@@ -64,100 +65,75 @@ class FileStore {
   /// Apply a journaled transaction to the backing store. `lightweight`
   /// selects the AFCeph §3.4 path (merged syscalls, batched KV, no extra
   /// xattr writeback I/O).
-  sim::CoTask<void> apply_transaction(const Transaction& tx, bool lightweight);
+  sim::CoTask<void> apply_transaction(const Transaction& tx, bool lightweight) override;
 
-  struct ReadResult {
-    bool found = false;
-    std::uint64_t length = 0;
-    std::optional<std::vector<std::uint8_t>> data;  // only if want_data
-  };
-  /// Read [off, off+len) of an object. `want_data=false` skips
-  /// materialization (benchmarks) but still charges the same I/O.
   sim::CoTask<ReadResult> read(const ObjectId& oid, std::uint64_t off, std::uint64_t len,
-                               bool want_data = true);
+                               bool want_data = true) override;
 
-  /// Metadata read (object_info / snapset) — the call community Ceph makes
-  /// on the write path. Page-cache hit or one device read.
-  sim::CoTask<std::optional<kv::Value>> getattr(const ObjectId& oid, const std::string& name);
+  sim::CoTask<std::optional<kv::Value>> getattr(const ObjectId& oid,
+                                                const std::string& name) override;
 
-  /// stat(2)-equivalent: object existence + size.
-  sim::CoTask<std::optional<std::uint64_t>> stat(const ObjectId& oid);
+  sim::CoTask<std::optional<std::uint64_t>> stat(const ObjectId& oid) override;
 
   /// Cheap in-memory checks for tests (no simulated cost).
-  bool object_in_memory(const ObjectId& oid) const { return objects_.count(oid) != 0; }
-  std::size_t object_count() const { return objects_.size(); }
-  std::uint64_t object_size(const ObjectId& oid) const;
+  bool object_in_memory(const ObjectId& oid) const override {
+    return objects_.contains(oid);
+  }
+  std::size_t object_count() const override { return objects_.count(); }
+  std::uint64_t object_size(const ObjectId& oid) const override;
 
   // --- recovery support (control plane; I/O costs charged by the caller) -
-  std::vector<ObjectId> objects_in_pg(std::uint32_t pg) const;
-  struct ObjectExport {
-    std::vector<std::pair<std::uint64_t, Payload>> extents;
-    std::vector<std::pair<std::string, kv::Value>> xattrs;
-    std::uint64_t size = 0;
-  };
-  ObjectExport export_object(const ObjectId& oid) const;
-  /// Drop an object's in-memory state (recovery: the importer replaces the
-  /// whole object so stale extents the source lacks cannot survive a
-  /// repair). No simulated cost — the recovery caller charges the I/O.
-  void remove_object(const ObjectId& oid) { objects_.erase(oid); }
-  /// Content fingerprint over the object's extents + size (scrub).
-  std::uint64_t object_fingerprint(const ObjectId& oid) const;
-  /// FAILURE INJECTION (tests): silently flip one byte of the object's
-  /// first extent, as latent media corruption would. Returns false if the
-  /// object has no data.
-  bool corrupt_object(const ObjectId& oid);
-  /// FAILURE INJECTION (kBitFlip on data media): corrupt_object() on a
-  /// seeded-random resident object. Returns the victim, or nullopt when the
-  /// store holds no corruptible object.
-  std::optional<ObjectId> corrupt_some_object(std::uint64_t seed);
-  /// Deep-scrub self-check: every extent's content still matches the
-  /// checksum recorded when it was written. True for absent objects
-  /// (nothing to contradict). No simulated cost — the scrub caller charges
-  /// the device reads.
-  bool verify_object(const ObjectId& oid) const;
+  std::vector<ObjectId> objects_in_pg(std::uint32_t pg) const override {
+    return objects_.objects_in_pg(pg);
+  }
+  ObjectExport export_object(const ObjectId& oid) const override {
+    return objects_.export_object(oid);
+  }
+  void remove_object(const ObjectId& oid) override { objects_.remove(oid); }
+  std::uint64_t object_fingerprint(const ObjectId& oid) const override {
+    return objects_.fingerprint(oid);
+  }
+  bool corrupt_object(const ObjectId& oid) override { return objects_.corrupt(oid); }
+  std::optional<ObjectId> corrupt_some_object(std::uint64_t seed) override {
+    return objects_.corrupt_some(seed);
+  }
+  bool verify_object(const ObjectId& oid) const override { return objects_.verify(oid); }
 
   kv::Db& omap() { return omap_; }
   PageCache& page_cache() { return cache_; }
   const Config& config() const { return cfg_; }
 
-  /// Stop the writeback worker (flush first via drain()).
-  void close();
-  /// Wait until all dirty data has reached the device.
-  sim::CoTask<void> drain();
-  std::uint64_t dirty_bytes() const { return dirty_sem_.in_use(); }
-  std::uint64_t writeback_stalls() const { return dirty_sem_.blocked_acquires(); }
+  bool assume_populated() const override { return cfg_.assume_populated; }
+  std::uint64_t populated_object_size() const override {
+    return cfg_.populated_object_size;
+  }
 
-  std::uint64_t syscalls() const { return syscalls_; }
-  std::uint64_t metadata_device_reads() const { return metadata_device_reads_; }
-  std::uint64_t applies() const { return applies_; }
-  std::uint64_t data_bytes_written() const { return data_bytes_written_; }
+  /// Stop the writeback worker (flush first via drain()).
+  void close() override;
+  /// Wait until all dirty data has reached the device.
+  sim::CoTask<void> drain() override;
+  std::uint64_t dirty_bytes() const override { return dirty_sem_.in_use(); }
+  std::uint64_t writeback_stalls() const override {
+    return dirty_sem_.blocked_acquires();
+  }
+
+  std::uint64_t syscalls() const override { return syscalls_; }
+  std::uint64_t metadata_device_reads() const override { return metadata_device_reads_; }
+  std::uint64_t applies() const override { return applies_; }
+  std::uint64_t data_bytes_written() const override { return data_bytes_written_; }
 
  private:
-  struct Extent {
-    Payload data;            // length == extent length
-    std::uint64_t csum = 0;  // data.fingerprint() recorded at write time
-  };
-  /// Every legitimate write goes through here so the checksum always
-  /// matches; corruption paths bypass it, leaving the csum stale.
-  static Extent make_extent(Payload data) {
-    const std::uint64_t c = data.fingerprint();
-    return Extent{std::move(data), c};
-  }
-  struct Object {
-    std::map<std::uint64_t, Extent> extents;  // by offset, non-overlapping
-    std::map<std::string, kv::Value> xattrs;
-    std::uint64_t size = 0;
-  };
+  using Object = store::ExtentMap::Object;
 
   sim::CoTask<void> charge_syscalls(unsigned n);
   Object& materialize_object(const ObjectId& oid);
-  const Object* find_object(const ObjectId& oid) const;
   bool implicitly_exists(const ObjectId& oid) const;
-  static std::uint64_t object_hash(const ObjectId& oid);
-  /// Synthesized content seed for implicitly-populated objects.
-  static std::uint64_t populated_seed(const ObjectId& oid);
-
-  void write_extent(Object& obj, std::uint64_t off, Payload data);
+  static std::uint64_t object_hash(const ObjectId& oid) {
+    return store::ExtentMap::object_hash(oid);
+  }
+  static std::uint64_t populated_seed(const ObjectId& oid) {
+    return store::ExtentMap::populated_seed(oid);
+  }
 
   /// Mark `bytes` dirty (blocking if over the writeback limit) and hand
   /// them to the writeback worker.
@@ -172,7 +148,7 @@ class FileStore {
   Counters* counters_;
   PageCache cache_;
 
-  std::unordered_map<ObjectId, Object, ObjectIdHash> objects_;
+  store::ExtentMap objects_;
   sim::Semaphore dirty_sem_;           // units = dirty bytes allowed
   sim::Semaphore wb_parallel_;         // concurrent writeback I/Os
   std::deque<std::uint64_t> wb_queue_;  // dirty extent sizes awaiting writeback

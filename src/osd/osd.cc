@@ -8,8 +8,9 @@ namespace afc::osd {
 
 namespace {
 
-fs::FileStore::Config with_profile(fs::FileStore::Config cfg, const core::Profile& p) {
-  cfg.cpu_multiplier = p.alloc_cpu_multiplier();
+store::StoreConfig with_profile(store::StoreConfig cfg, const core::Profile& p) {
+  cfg.file.cpu_multiplier = p.alloc_cpu_multiplier();
+  cfg.flash.cpu_multiplier = p.alloc_cpu_multiplier();
   return cfg;
 }
 
@@ -49,7 +50,7 @@ trace::Span item_span(const WorkItem& item, std::uint32_t osd_id) {
 Osd::Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
          dev::Device& data_dev, cluster::ClusterMap& cmap, std::uint32_t id,
          const OsdConfig& cfg, const core::Profile& profile,
-         const fs::FileStore::Config& fs_cfg, const kv::Db::Config& kv_cfg,
+         const store::StoreConfig& store_cfg, const kv::Db::Config& kv_cfg,
          const ThrottleSet::Config& throttle_cfg, DebugLog::Config log_cfg,
          const fs::Journal::Config& journal_cfg)
     : sim_(sim),
@@ -62,7 +63,8 @@ Osd::Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
       throttles_(sim, throttle_cfg),
       dlog_(sim, node.cpu(), log_with_profile(log_cfg, profile)),
       omap_(sim, data_dev, kv_with_profile(kv_cfg, profile), 1000 + id, &node.cpu()),
-      store_(sim, node.cpu(), data_dev, omap_, with_profile(fs_cfg, profile), &counters_),
+      store_(store::make_store(sim, node.cpu(), journal_dev, data_dev, omap_,
+                               with_profile(store_cfg, profile), &counters_)),
       journal_(sim, journal_dev, journal_cfg),
       meta_cache_(meta_cache_cfg(profile)),
       finisher_q_(sim),
@@ -342,18 +344,18 @@ sim::CoTask<ObjectMeta> Osd::ensure_object_meta(const fs::ObjectId& oid) {
   if (meta_cache_.authoritative()) {
     // Write-through cache warmed since boot: a miss is authoritative and
     // costs no storage read (§3.4: "most of the metadata exist in memory").
-    meta.exists = store_.object_in_memory(oid) || store_.config().assume_populated;
-    meta.size = meta.exists ? store_.config().populated_object_size : 0;
+    meta.exists = store_->object_in_memory(oid) || store_->assume_populated();
+    meta.size = meta.exists ? store_->populated_object_size() : 0;
   } else {
     // Community read-modify-write: object_info then snapset, from the
     // filestore — device reads that land in the middle of the write stream.
-    auto oi = co_await store_.getattr(oid, "_");
+    auto oi = co_await store_->getattr(oid, "_");
     meta.exists = oi.has_value();
     if (meta.exists) {
-      auto ss = co_await store_.getattr(oid, "snapset");
+      auto ss = co_await store_->getattr(oid, "snapset");
       (void)ss;
-      meta.size = store_.config().assume_populated ? store_.config().populated_object_size
-                                                   : store_.object_size(oid);
+      meta.size = store_->assume_populated() ? store_->populated_object_size()
+                                             : store_->object_size(oid);
     }
   }
   meta_cache_.insert(oid, meta);
@@ -430,8 +432,11 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
   const Time admit_t0 = sim_.now();
   co_await throttles_.filestore_ops.acquire(1);
   co_await throttles_.filestore_bytes.acquire(jbytes);
-  co_await throttles_.journal_ops.acquire(1);
-  co_await journal_.reserve(jbytes);
+  const bool direct = store_->commit_model() == store::ObjectStore::CommitModel::kStoreDirect;
+  if (!direct) {
+    co_await throttles_.journal_ops.acquire(1);
+    co_await journal_.reserve(jbytes);
+  }
   if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
     if (const Time admitted = sim_.now(); admitted > admit_t0) {
       tr->complete(op->span, tr->stage_id(stage::kJournalThrottle), admit_t0, admitted);
@@ -444,7 +449,11 @@ sim::CoTask<void> Osd::process_client_write(WorkItem& item) {
   client_writes_++;
   op->local_oid = msg.oid;
   note_apply_queued(msg.oid);
-  sim::spawn(journal_path(op));
+  if (direct) {
+    sim::spawn(flash_commit_path(op));
+  } else {
+    sim::spawn(journal_path(op));
+  }
 }
 
 sim::CoTask<void> Osd::journal_path(OpRef op) {
@@ -467,6 +476,26 @@ sim::CoTask<void> Osd::journal_path(OpRef op) {
   if (profile_.dedicated_completion) {
     // OP-lock work only; PG-side status work is deferred to the batched
     // completion worker.
+    co_await charge_cpu(cfg_.oplock_cpu, false);
+    completion_q_.try_push(CompletionEvent{CompletionEvent::kCommit, op, op->msg->pg, {}, nullptr});
+  } else {
+    finisher_q_.try_push(CompletionEvent{CompletionEvent::kCommit, op, op->msg->pg, {}, nullptr});
+  }
+}
+
+sim::CoTask<void> Osd::flash_commit_path(OpRef op) {
+  // One round trip: queue_transaction resumes with the write both durable
+  // (WAL/COW committed) and applied — there is no separate apply pass to
+  // queue and no journal record to retire later.
+  const std::uint64_t seq = co_await store_->queue_transaction(op->txn, profile_.light_transactions);
+  if (seq == 0) co_return;  // store closing: not committed, must not ack
+  throttles_.filestore_ops.release(1);
+  throttles_.filestore_bytes.release(op->journal_bytes);
+  note_apply_done(op->local_oid);
+  op->stamp(kStJournaled, sim_.now());
+  co_await dlog_.log(cfg_.log_entries_journal);
+
+  if (profile_.dedicated_completion) {
     co_await charge_cpu(cfg_.oplock_cpu, false);
     completion_q_.try_push(CompletionEvent{CompletionEvent::kCommit, op, op->msg->pg, {}, nullptr});
   } else {
@@ -503,6 +532,12 @@ sim::CoTask<void> Osd::process_replica_op(WorkItem& item) {
   const std::uint64_t jbytes = txn.encoded_bytes();
   co_await throttles_.filestore_ops.acquire(1);
   co_await throttles_.filestore_bytes.acquire(jbytes);
+  if (store_->commit_model() == store::ObjectStore::CommitModel::kStoreDirect) {
+    replica_ops_++;
+    note_apply_queued(rep.oid);
+    sim::spawn(flash_replica_path(item.rep, item.conn, std::move(txn), jbytes));
+    co_return;
+  }
   co_await throttles_.journal_ops.acquire(1);
   co_await journal_.reserve(jbytes);
   replica_ops_++;
@@ -543,6 +578,37 @@ sim::CoTask<void> Osd::replica_journal_path(std::shared_ptr<RepOpMsg> rep,
     }
   } else {
     // Community: the commit notification is finisher work under the PG lock.
+    finisher_q_.try_push(
+        CompletionEvent{CompletionEvent::kRepCommitSend, nullptr, rep->pg, rep, conn});
+  }
+}
+
+sim::CoTask<void> Osd::flash_replica_path(std::shared_ptr<RepOpMsg> rep,
+                                          net::Connection* conn, fs::Transaction txn,
+                                          std::uint64_t bytes) {
+  const trace::Span rep_span = txn.trace;
+  const std::uint64_t seq = co_await store_->queue_transaction(txn, profile_.light_transactions);
+  if (seq == 0) co_return;  // store closing: not committed, no ack
+  throttles_.filestore_ops.release(1);
+  throttles_.filestore_bytes.release(bytes);
+  note_apply_done(rep->oid);
+  co_await dlog_.log(cfg_.log_entries_journal);
+
+  if (profile_.dedicated_completion) {
+    co_await charge_cpu(cfg_.oplock_cpu, false);
+    if (conn != nullptr) {
+      auto reply = std::make_shared<RepReplyMsg>();
+      reply->op_id = rep->op_id;
+      reply->pg = rep->pg;
+      reply->from_osd = id_;
+      net::Message wire;
+      wire.type = kRepReply;
+      wire.size = cfg_.reply_msg_bytes;
+      wire.body = std::move(reply);
+      wire.trace = rep_span;
+      conn->send(std::move(wire));
+    }
+  } else {
     finisher_q_.try_push(
         CompletionEvent{CompletionEvent::kRepCommitSend, nullptr, rep->pg, rep, conn});
   }
@@ -819,7 +885,7 @@ sim::CoTask<void> Osd::apply_loop() {
 }
 
 sim::CoTask<void> Osd::do_apply(ApplyItem item) {
-  co_await store_.apply_transaction(item.txn, profile_.light_transactions);
+  co_await store_->apply_transaction(item.txn, profile_.light_transactions);
   if (item.seq != 0) {
     // Retire the journal record: same bytes freed at the same point as the
     // raw release below, plus the retained ring image is dropped.
@@ -881,7 +947,7 @@ sim::CoTask<void> Osd::process_client_read(WorkItem& item) {
   reply->is_write = false;
   reply->issued_at = msg.issued_at;
   if (meta.exists) {
-    auto rr = co_await store_.read(msg.oid, msg.offset, msg.read_len, msg.want_data);
+    auto rr = co_await store_->read(msg.oid, msg.offset, msg.read_len, msg.want_data);
     reply->ok = rr.found;
     reply->data_len = rr.length;
     reply->data = std::move(rr.data);
@@ -1016,8 +1082,11 @@ sim::CoTask<void> Osd::process_client_write_ec(WorkItem& item) {
   const Time admit_t0 = sim_.now();
   co_await throttles_.filestore_ops.acquire(1);
   co_await throttles_.filestore_bytes.acquire(jbytes);
-  co_await throttles_.journal_ops.acquire(1);
-  co_await journal_.reserve(jbytes);
+  const bool direct = store_->commit_model() == store::ObjectStore::CommitModel::kStoreDirect;
+  if (!direct) {
+    co_await throttles_.journal_ops.acquire(1);
+    co_await journal_.reserve(jbytes);
+  }
   if (auto* tr = trace::Collector::active(); tr != nullptr && op->span.valid()) {
     if (const Time admitted = sim_.now(); admitted > admit_t0) {
       tr->complete(op->span, tr->stage_id(stage::kJournalThrottle), admit_t0, admitted);
@@ -1029,7 +1098,11 @@ sim::CoTask<void> Osd::process_client_write_ec(WorkItem& item) {
   op->stamp(kStJournalQ, sim_.now());
   client_writes_++;
   note_apply_queued(op->local_oid);
-  sim::spawn(journal_path(op));
+  if (direct) {
+    sim::spawn(flash_commit_path(op));
+  } else {
+    sim::spawn(journal_path(op));
+  }
 }
 
 sim::CoTask<void> Osd::process_client_read_ec(WorkItem& item) {
@@ -1104,9 +1177,9 @@ sim::CoTask<void> Osd::ec_read_gather(OpRef op) {
   auto fetch_local = [&](unsigned p) -> sim::CoTask<void> {
     const fs::ObjectId soid = ec::shard_oid(msg.oid, p);
     co_await wait_object_readable(soid);
-    bool ok = store_.object_in_memory(soid) && store_.verify_object(soid);
+    bool ok = store_->object_in_memory(soid) && store_->verify_object(soid);
     if (ok) {
-      auto rr = co_await store_.read(soid, soff, clen, msg.want_data);
+      auto rr = co_await store_->read(soid, soff, clen, msg.want_data);
       if (rr.found) {
         g.good[p] = GatherChunk{rr.length, std::move(rr.data)};
       } else {
@@ -1210,8 +1283,8 @@ sim::CoTask<void> Osd::serve_shard_read(std::shared_ptr<ShardReadMsg> msg,
   co_await wait_object_readable(msg->oid);
   // Per-shard CRC gate: a bit-flipped shard reports itself bad here, which
   // is what turns silent corruption into a reconstructing read.
-  if (store_.object_in_memory(msg->oid) && store_.verify_object(msg->oid)) {
-    auto rr = co_await store_.read(msg->oid, msg->offset, msg->len, msg->want_data);
+  if (store_->object_in_memory(msg->oid) && store_->verify_object(msg->oid)) {
+    auto rr = co_await store_->read(msg->oid, msg->offset, msg->len, msg->want_data);
     reply->ok = rr.found;
     reply->data_len = rr.length;
     reply->data = std::move(rr.data);
@@ -1361,7 +1434,7 @@ void Osd::set_pg_acting(std::uint32_t pgid, std::vector<std::uint32_t> acting) {
 sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
   std::uint64_t pushed = 0;
   Pg* src_pg = find_pg(pgid);
-  for (const auto& oid : store_.objects_in_pg(pgid)) {
+  for (const auto& oid : store_->objects_in_pg(pgid)) {
     // Delta backfill: journal replay (or an earlier push) may already have
     // restored this object at the target — skip identical content. After a
     // push, re-check and re-push: a client write that applied at the target
@@ -1377,15 +1450,15 @@ sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
       // apply then diverges the copies for good).
       co_await wait_object_readable(oid);
       if (target.store().object_in_memory(oid) &&
-          target.store().object_fingerprint(oid) == store_.object_fingerprint(oid)) {
+          target.store().object_fingerprint(oid) == store_->object_fingerprint(oid)) {
         break;
       }
-      auto data = store_.export_object(oid);
+      auto data = store_->export_object(oid);
       std::uint64_t bytes = 0;
       for (const auto& [off, payload] : data.extents) bytes += payload.size();
       // Source read, wire transfer, then installation at the target.
       if (bytes > 0) {
-        co_await store_.read(oid, 0, data.size, /*want_data=*/false);
+        co_await store_->read(oid, 0, data.size, /*want_data=*/false);
         co_await node_.nic_transmit(bytes + 512);
         co_await sim::delay(sim_, 60 * kMicrosecond, "osd.push_hop");
       }
@@ -1406,15 +1479,15 @@ sim::CoTask<std::uint64_t> Osd::push_pg(std::uint32_t pgid, Osd& target) {
 }
 
 sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
-                                      fs::FileStore::ObjectExport data) {
+                                      store::ObjectExport data) {
   // Replace, don't merge: scrub compares whole-object fingerprints, so the
   // recovered replica must reproduce the source's exact extent layout —
   // stale extents in ranges the source never wrote may not survive.
-  store_.remove_object(oid);
+  store_->remove_object(oid);
   fs::Transaction txn;
   for (auto& [off, payload] : data.extents) txn.write(oid, off, std::move(payload));
   if (!data.xattrs.empty()) txn.setattrs(oid, std::move(data.xattrs));
-  co_await store_.apply_transaction(txn, /*lightweight=*/true);
+  co_await store_->apply_transaction(txn, /*lightweight=*/true);
   ObjectMeta meta;
   meta.exists = true;
   meta.size = data.size;
@@ -1424,6 +1497,9 @@ sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
 void Osd::on_crash() {
   inflight_.clear();
   ack_state_.clear();
+  // A store with a deferred-write ledger loses it with the daemon's RAM;
+  // its WAL records survive on media for replay.
+  store_->on_daemon_crash();
   // Routing entries for in-flight shard gathers die with the daemon's RAM;
   // the gather coroutines themselves are zombies that expire on their own
   // ec_read_timeout.
@@ -1434,19 +1510,27 @@ void Osd::on_crash() {
 }
 
 sim::CoTask<void> Osd::on_restart() {
-  auto replay = journal_.restart();
+  // Replay completes before the caller marks this OSD up: no client op or
+  // backfill push may land while possibly-stale records re-apply, or a
+  // replayed write could clobber data written during the downtime.
+  co_await replay_journal(journal_);
+  // A store-internal WAL (FlashStore) recovers under the same contract and
+  // counters: records whose effects the crash may have lost re-apply here.
+  if (fs::Journal* w = store_->wal(); w != nullptr) co_await replay_journal(*w);
+}
+
+sim::CoTask<void> Osd::replay_journal(fs::Journal& j) {
+  auto replay = j.restart();
   if (replay.torn_tails > 0) counters_.add("osd.journal.torn_tails", replay.torn_tails);
   if (replay.crc_failures > 0)
     counters_.add("osd.journal.crc_failures", replay.crc_failures);
   if (replay.truncated > 0)
     counters_.add("osd.journal.replay_truncated", replay.truncated);
-  // Replay completes before the caller marks this OSD up: no client op or
-  // backfill push may land while possibly-stale records re-apply, or a
-  // replayed write could clobber data written during the downtime.
-  if (!replay.records.empty()) co_await replay_records(std::move(replay.records));
+  if (!replay.records.empty()) co_await replay_records(j, std::move(replay.records));
 }
 
-sim::CoTask<void> Osd::replay_records(std::vector<fs::Journal::ReplayedRecord> records) {
+sim::CoTask<void> Osd::replay_records(fs::Journal& j,
+                                      std::vector<fs::Journal::ReplayedRecord> records) {
   for (auto& rec : records) {
     auto tx = fs::Transaction::decode(rec.payload.data(), rec.payload.size());
     if (tx.has_value()) {
@@ -1454,7 +1538,7 @@ sim::CoTask<void> Osd::replay_records(std::vector<fs::Journal::ReplayedRecord> r
       // content-idempotent, so racing a zombie apply of the same record is
       // harmless. Sequencing against new client ops is the dedup-by-seq
       // contract — each record applies at most once from here.
-      co_await store_.apply_transaction(*tx, profile_.light_transactions);
+      co_await store_->apply_transaction(*tx, profile_.light_transactions);
       counters_.add("osd.journal.records_replayed");
       if (auto* tr = trace::Collector::active(); tr != nullptr) {
         tr->instant(trace::Span{rec.seq, trace::kFaultTrack},
@@ -1465,7 +1549,7 @@ sim::CoTask<void> Osd::replay_records(std::vector<fs::Journal::ReplayedRecord> r
       // ring cannot wedge on it either way.
       counters_.add("osd.journal.replay_undecodable");
     }
-    journal_.mark_applied(rec.seq);
+    j.mark_applied(rec.seq);
   }
 }
 
@@ -1481,7 +1565,7 @@ void Osd::close() {
   apply_q_.close();
   dlog_.close();
   journal_.close();
-  store_.close();
+  store_->close();
   omap_.close();
   msgr_.close_all();
 }

@@ -13,6 +13,7 @@
 #include "fs/filestore.h"
 #include "fs/journal.h"
 #include "osd/dout.h"
+#include "store/store_config.h"
 #include "osd/meta_cache.h"
 #include "osd/op.h"
 #include "osd/pg.h"
@@ -99,7 +100,7 @@ class Osd : public net::Receiver {
   Osd(sim::Simulation& sim, net::Node& node, dev::Device& journal_dev,
       dev::Device& data_dev, cluster::ClusterMap& cmap, std::uint32_t id,
       const OsdConfig& cfg, const core::Profile& profile,
-      const fs::FileStore::Config& fs_cfg, const kv::Db::Config& kv_cfg,
+      const store::StoreConfig& store_cfg, const kv::Db::Config& kv_cfg,
       const ThrottleSet::Config& throttle_cfg, DebugLog::Config log_cfg,
       const fs::Journal::Config& journal_cfg);
   ~Osd() override;
@@ -129,7 +130,7 @@ class Osd : public net::Receiver {
   /// reads, network transfer, and target writes.
   sim::CoTask<std::uint64_t> push_pg(std::uint32_t pgid, Osd& target);
   /// Install one recovered object (charged as a light apply).
-  sim::CoTask<void> recover_object(const fs::ObjectId& oid, fs::FileStore::ObjectExport data);
+  sim::CoTask<void> recover_object(const fs::ObjectId& oid, store::ObjectExport data);
   /// Recovery support: wait until the object's journaled writes have reached
   /// the filestore (public face of the ondisk-read gate; EC shard rebuild
   /// must not export a shard the filestore is still behind on).
@@ -154,7 +155,7 @@ class Osd : public net::Receiver {
   void close();
 
   // --- instrumentation -------------------------------------------------
-  fs::FileStore& store() { return store_; }
+  store::ObjectStore& store() { return *store_; }
   fs::Journal& journal() { return journal_; }
   kv::Db& omap_db() { return omap_; }
   DebugLog& dlog() { return dlog_; }
@@ -243,6 +244,13 @@ class Osd : public net::Receiver {
   sim::CoTask<void> replica_journal_path(std::shared_ptr<RepOpMsg> rep,
                                          net::Connection* conn, fs::Transaction txn,
                                          std::uint64_t bytes);
+  /// FlashStore (kStoreDirect) primary path: the store's own
+  /// queue_transaction is the durability point — no external journal entry,
+  /// no separate apply pass.
+  sim::CoTask<void> flash_commit_path(OpRef op);
+  sim::CoTask<void> flash_replica_path(std::shared_ptr<RepOpMsg> rep,
+                                       net::Connection* conn, fs::Transaction txn,
+                                       std::uint64_t bytes);
   sim::CoTask<void> finisher_loop();           // community: one, PG lock per event
   sim::CoTask<void> completion_worker_loop();  // AFCeph: batched, no PG lock
   void handle_commit_recorded(OpRef& op);      // common bookkeeping
@@ -259,7 +267,11 @@ class Osd : public net::Receiver {
   };
   sim::CoTask<void> apply_loop();
   sim::CoTask<void> do_apply(ApplyItem item);
-  sim::CoTask<void> replay_records(std::vector<fs::Journal::ReplayedRecord> records);
+  /// Restart-time recovery of one write-ahead ring (the external NVRAM
+  /// journal, or a store-internal WAL): CRC-scan, re-apply, retire.
+  sim::CoTask<void> replay_journal(fs::Journal& j);
+  sim::CoTask<void> replay_records(fs::Journal& j,
+                                   std::vector<fs::Journal::ReplayedRecord> records);
 
   /// Ceph's ondisk_read_lock: a read of an object waits until the object's
   /// in-flight (journaled but not yet applied) writes reach the filestore.
@@ -285,7 +297,7 @@ class Osd : public net::Receiver {
   ThrottleSet throttles_;
   DebugLog dlog_;
   kv::Db omap_;
-  fs::FileStore store_;
+  std::unique_ptr<store::ObjectStore> store_;
   fs::Journal journal_;
   MetaCache meta_cache_;
 

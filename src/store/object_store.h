@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kv/db.h"
+#include "sim/cpu.h"
+#include "store/extent_map.h"
+
+namespace afc::fs {
+class Journal;
+}
+
+namespace afc::store {
+
+/// What the OSD needs from its local object store. Two backends implement
+/// it: fs::FileStore (objects as files, write-ahead through the external
+/// NVRAM journal) and store::FlashStore (raw-device extent allocator, its
+/// own small WAL for sub-block writes, metadata in the LSM KV).
+class ObjectStore {
+ public:
+  struct ReadResult {
+    bool found = false;
+    std::uint64_t length = 0;
+    std::optional<std::vector<std::uint8_t>> data;  // only if want_data
+  };
+  using ObjectExport = store::ObjectExport;
+
+  /// How the OSD makes this backend's transactions durable.
+  enum class CommitModel {
+    /// External journal write-ahead (NVRAM ring), then apply_transaction:
+    /// the classic FileStore double-write discipline.
+    kJournaled,
+    /// queue_transaction(): the store commits internally (COW extents +
+    /// deferred-write WAL); durable AND applied when it resumes. The OSD
+    /// skips the external journal entirely.
+    kStoreDirect,
+  };
+
+  virtual ~ObjectStore() = default;
+
+  virtual CommitModel commit_model() const { return CommitModel::kJournaled; }
+
+  /// Apply a (journaled or replayed) transaction to the backing store.
+  /// `lightweight` selects the AFCeph §3.4 path where the backend
+  /// distinguishes them.
+  virtual sim::CoTask<void> apply_transaction(const fs::Transaction& tx,
+                                              bool lightweight) = 0;
+
+  /// kStoreDirect backends only: make `tx` durable and applied in one call;
+  /// resumes at commit. Returns the store-WAL sequence of the commit
+  /// record, or 0 when the store is closing (the op must not be acked —
+  /// same contract as a closed journal). kJournaled backends never take
+  /// this path; the default funnels into apply_transaction for safety.
+  virtual sim::CoTask<std::uint64_t> queue_transaction(const fs::Transaction& tx,
+                                                       bool lightweight) {
+    co_await apply_transaction(tx, lightweight);
+    co_return 0;
+  }
+
+  /// Read [off, off+len) of an object. `want_data=false` skips
+  /// materialization (benchmarks) but still charges the same I/O.
+  virtual sim::CoTask<ReadResult> read(const fs::ObjectId& oid, std::uint64_t off,
+                                       std::uint64_t len, bool want_data = true) = 0;
+  /// Metadata read (object_info / snapset): cache hit or one device read.
+  virtual sim::CoTask<std::optional<kv::Value>> getattr(const fs::ObjectId& oid,
+                                                        const std::string& name) = 0;
+  /// stat(2)-equivalent: object existence + size.
+  virtual sim::CoTask<std::optional<std::uint64_t>> stat(const fs::ObjectId& oid) = 0;
+
+  // --- cheap in-memory checks (no simulated cost) ------------------------
+  virtual bool object_in_memory(const fs::ObjectId& oid) const = 0;
+  virtual std::size_t object_count() const = 0;
+  virtual std::uint64_t object_size(const fs::ObjectId& oid) const = 0;
+
+  // --- recovery support (control plane; I/O charged by the caller) -------
+  virtual std::vector<fs::ObjectId> objects_in_pg(std::uint32_t pg) const = 0;
+  virtual ObjectExport export_object(const fs::ObjectId& oid) const = 0;
+  /// Drop an object's state (recovery: the importer replaces the whole
+  /// object so stale extents the source lacks cannot survive a repair).
+  virtual void remove_object(const fs::ObjectId& oid) = 0;
+  /// Content fingerprint over the object's extents + size (scrub).
+  virtual std::uint64_t object_fingerprint(const fs::ObjectId& oid) const = 0;
+  /// FAILURE INJECTION: flip one byte of the object's first extent.
+  virtual bool corrupt_object(const fs::ObjectId& oid) = 0;
+  /// FAILURE INJECTION: corrupt_object() on a seeded-random resident object.
+  virtual std::optional<fs::ObjectId> corrupt_some_object(std::uint64_t seed) = 0;
+  /// Deep-scrub self-check: stored checksums still match content.
+  virtual bool verify_object(const fs::ObjectId& oid) const = 0;
+
+  /// The store's internal WAL (kStoreDirect backends), exposed for fault
+  /// injection (stall / torn write / bit flip) and restart replay; nullptr
+  /// for journaled backends.
+  virtual fs::Journal* wal() { return nullptr; }
+  /// The daemon died (fault injection): drop RAM-only bookkeeping (e.g.
+  /// the deferred-write ledger). Media-durable state must survive.
+  virtual void on_daemon_crash() {}
+
+  /// Implicit-population policy (simulated 80%-full cluster), needed by the
+  /// OSD's metadata path before it touches the store.
+  virtual bool assume_populated() const = 0;
+  virtual std::uint64_t populated_object_size() const = 0;
+
+  virtual void close() = 0;
+  /// Wait until all buffered/deferred data has reached the device.
+  virtual sim::CoTask<void> drain() = 0;
+
+  // --- instrumentation ---------------------------------------------------
+  virtual std::uint64_t dirty_bytes() const { return 0; }
+  virtual std::uint64_t writeback_stalls() const { return 0; }
+  virtual std::uint64_t syscalls() const { return 0; }
+  virtual std::uint64_t metadata_device_reads() const { return 0; }
+  virtual std::uint64_t applies() const { return 0; }
+  virtual std::uint64_t data_bytes_written() const { return 0; }
+};
+
+}  // namespace afc::store

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fs/filestore.h"
+#include "store/flashstore/flashstore.h"
+#include "store/object_store.h"
+
+namespace afc::store {
+
+/// Which object-store backend an OSD runs. `kFile` is the paper's
+/// FileStore-on-XFS pipeline (external NVRAM journal + filesystem apply);
+/// `kFlash` is the raw-device FlashStore (extent allocator + deferred-write
+/// WAL + KV metadata). Default is kFile: with it, every figure is
+/// byte-identical to the pre-FlashStore tree.
+enum class Backend { kFile, kFlash };
+
+struct StoreConfig {
+  Backend backend = Backend::kFile;
+  fs::FileStore::Config file;
+  FlashStore::Config flash;
+};
+
+const char* backend_name(Backend b);
+
+/// Parse "file" / "flash" (anything else: nullopt).
+std::optional<Backend> parse_backend(const std::string& name);
+
+/// Build the configured backend. `journal_dev` is the NVRAM card: FileStore
+/// ignores it (the OSD's external journal owns that device); FlashStore
+/// places its deferred-write WAL on it. `data_dev` is the data SSD and
+/// `kvdb` the OSD's LSM KV (omap for FileStore; omap + onodes for
+/// FlashStore).
+std::unique_ptr<ObjectStore> make_store(sim::Simulation& sim, sim::CpuPool& cpu,
+                                        dev::Device& journal_dev, dev::Device& data_dev,
+                                        kv::Db& kvdb, const StoreConfig& cfg,
+                                        Counters* counters = nullptr);
+
+}  // namespace afc::store

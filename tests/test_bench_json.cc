@@ -1,0 +1,101 @@
+// Tests for the BENCH_*.json trajectory appender: document creation,
+// append splicing, foreign-file refusal, and the crash-safe
+// write-temp-then-rename protocol.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/bench_json.h"
+
+namespace afc::core {
+namespace {
+
+/// Scoped AFC_BENCH_JSON pointing at a scratch file; cleans up both the
+/// file and its .tmp sibling.
+struct JsonEnv {
+  std::string file;
+
+  explicit JsonEnv(std::string f) : file(std::move(f)) {
+    std::remove(file.c_str());
+    std::remove((file + ".tmp").c_str());
+    ::setenv("AFC_BENCH_JSON", file.c_str(), 1);
+    ::unsetenv("AFC_BENCH_LABEL");
+  }
+  ~JsonEnv() {
+    ::unsetenv("AFC_BENCH_JSON");
+    std::remove(file.c_str());
+    std::remove((file + ".tmp").c_str());
+  }
+
+  std::string slurp() const {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  bool tmp_exists() const { return bool(std::ifstream(file + ".tmp")); }
+};
+
+BenchRecord make_record(const char* bench) {
+  BenchRecord r;
+  r.bench = bench;
+  r.config = "cfg";
+  r.metric = "iops";
+  r.value = 1.5;
+  return r;
+}
+
+TEST(BenchJson, DisabledIsNoOp) {
+  ::unsetenv("AFC_BENCH_JSON");
+  EXPECT_FALSE(BenchJson::enabled());
+  EXPECT_TRUE(BenchJson::record(make_record("x")));
+}
+
+TEST(BenchJson, CreatesDocumentAndAppends) {
+  JsonEnv env("bench_json_test.json");
+  ASSERT_TRUE(BenchJson::enabled());
+  ASSERT_TRUE(BenchJson::record(make_record("first")));
+  ASSERT_TRUE(BenchJson::record(make_record("second")));
+  const std::string body = env.slurp();
+  EXPECT_EQ(body.rfind("{\"schema\":\"afc-bench-v1\",\"runs\":[", 0), 0u);
+  EXPECT_NE(body.find("\"bench\":\"first\""), std::string::npos);
+  EXPECT_NE(body.find("\"bench\":\"second\""), std::string::npos);
+  EXPECT_EQ(body.substr(body.size() - 3), "]}\n");
+  // The temp file never outlives a successful append.
+  EXPECT_FALSE(env.tmp_exists());
+}
+
+TEST(BenchJson, RefusesForeignFile) {
+  JsonEnv env("bench_json_foreign.json");
+  {
+    std::ofstream out(env.file, std::ios::binary);
+    out << "not an afc-bench-v1 document";
+  }
+  EXPECT_FALSE(BenchJson::record(make_record("x")));
+  // Refusal leaves the foreign file byte-identical and no temp debris.
+  EXPECT_EQ(env.slurp(), "not an afc-bench-v1 document");
+  EXPECT_FALSE(env.tmp_exists());
+}
+
+TEST(BenchJson, StaleTempFileIsReplacedNotAppendedTo) {
+  JsonEnv env("bench_json_stale.json");
+  {
+    // Debris from a crash mid-append: a torn temp file. The next append
+    // must ignore it and still produce a complete document.
+    std::ofstream out(env.file + ".tmp", std::ios::binary);
+    out << "{\"schema\":\"afc-bench-v1\",\"runs\":[\n{\"bench\":\"torn";
+  }
+  ASSERT_TRUE(BenchJson::record(make_record("fresh")));
+  const std::string body = env.slurp();
+  EXPECT_NE(body.find("\"bench\":\"fresh\""), std::string::npos);
+  EXPECT_EQ(body.find("torn"), std::string::npos);
+  EXPECT_EQ(body.substr(body.size() - 3), "]}\n");
+  EXPECT_FALSE(env.tmp_exists());
+}
+
+}  // namespace
+}  // namespace afc::core

@@ -61,6 +61,35 @@ TEST(SsdModel, SustainedStateSlowsSmallWrites) {
   EXPECT_EQ(clean.gc_stalls(), 0u);
 }
 
+TEST(SsdModel, DaemonRestartResetsGcProgressNotWear) {
+  SsdModel::Config cfg;
+  cfg.sustained = true;
+  cfg.gc_interval_bytes = 1 * kMiB;
+  cfg.stream_count = 0;  // unhinted: every byte counts toward the interval
+  Driver d;
+  SsdModel ssd(d.sim, "s", cfg);
+  // Just under one GC interval: progress accrues, no pause yet.
+  d.run_ios(ssd, IoType::kWrite, 64 * 1024, 15, 1);  // 960 KiB
+  EXPECT_EQ(ssd.gc_stalls(), 0u);
+  EXPECT_GT(ssd.bytes_since_gc(), 0u);
+
+  // The daemon crashes and comes back: the FTL idled through the downtime
+  // and caught up on erase work, so partial progress toward the next pause
+  // must not leak into the revived daemon's first writes — but cumulative
+  // wear (gc_stalls_) is physical and survives.
+  ssd.note_daemon_restart();
+  EXPECT_EQ(ssd.bytes_since_gc(), 0u);
+  EXPECT_EQ(ssd.gc_stalls(), 0u);
+
+  // A fresh interval of writes lands with no stall (without the reset,
+  // 960 KiB + 960 KiB would have crossed 1 MiB mid-batch)...
+  d.run_ios(ssd, IoType::kWrite, 64 * 1024, 15, 1);
+  EXPECT_EQ(ssd.gc_stalls(), 0u);
+  // ...and the pause then arrives on schedule, not early.
+  d.run_ios(ssd, IoType::kWrite, 64 * 1024, 2, 1);
+  EXPECT_EQ(ssd.gc_stalls(), 1u);
+}
+
 TEST(SsdModel, SustainedPenaltyMilderForLargeWrites) {
   auto ratio_for = [](std::uint64_t len, int count) {
     SsdModel::Config cfg;

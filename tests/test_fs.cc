@@ -483,6 +483,72 @@ TEST(Journal, RestartSkipsAppliedPrefix) {
   EXPECT_EQ(res.crc_failures, 0u);
 }
 
+TEST(Journal, RetainedRingWrapAroundReplay) {
+  JournalFixture f;
+  Journal::Config cfg;
+  cfg.size_bytes = 64 * 1024;  // each 16K entry is a quarter of the ring
+  cfg.header_bytes = 0;
+  Journal j(f.sim, f.nvram, cfg);
+  std::vector<std::uint64_t> seqs;
+  f.run([&]() -> sim::CoTask<void> {
+    // Cycle the write position around the ring several times: every entry
+    // is applied immediately, so space recycles and seq keeps climbing.
+    for (int i = 0; i < 12; i++) {
+      co_await j.reserve(16 * 1024);
+      std::vector<std::uint8_t> img(64, std::uint8_t(i));
+      const auto seq = co_await j.write_entry(16 * 1024, std::move(img));
+      EXPECT_GT(seq, 0u);
+      j.mark_applied(seq);
+    }
+    EXPECT_EQ(j.records_retained(), 0u);
+    // Leave three unapplied entries laid down across the wrap point.
+    for (int i = 0; i < 3; i++) {
+      co_await j.reserve(16 * 1024);
+      std::vector<std::uint8_t> img(64, std::uint8_t(100 + i));
+      seqs.push_back(co_await j.write_entry(16 * 1024, std::move(img)));
+    }
+  });
+  auto res = j.restart();
+  // Replay hands back exactly the unapplied suffix in sequence order —
+  // wrap-around must not reorder, duplicate, or resurrect recycled entries.
+  ASSERT_EQ(res.records.size(), 3u);
+  for (std::size_t i = 0; i < 3; i++) {
+    EXPECT_EQ(res.records[i].seq, seqs[i]);
+    EXPECT_EQ(res.records[i].payload.size(), 64u);
+    EXPECT_EQ(res.records[i].payload[0], std::uint8_t(100 + i));
+  }
+  EXPECT_EQ(res.torn_tails, 0u);
+  EXPECT_EQ(res.crc_failures, 0u);
+  EXPECT_EQ(res.truncated, 0u);
+  // Survivors stay retained (and hold ring space) until re-applied.
+  EXPECT_EQ(j.records_retained(), 3u);
+  for (auto s : seqs) j.mark_applied(s);
+  EXPECT_EQ(j.records_retained(), 0u);
+  EXPECT_EQ(j.bytes_in_use(), 0u);
+}
+
+TEST(Journal, WrapAroundReplayStopsAtCorruptRecord) {
+  JournalFixture f;
+  Journal::Config cfg;
+  cfg.size_bytes = 64 * 1024;
+  cfg.header_bytes = 0;
+  Journal j(f.sim, f.nvram, cfg);
+  f.run([&]() -> sim::CoTask<void> {
+    for (int i = 0; i < 8; i++) {
+      co_await j.reserve(16 * 1024);
+      std::vector<std::uint8_t> img(64, std::uint8_t(i));
+      const auto seq = co_await j.write_entry(16 * 1024, std::move(img));
+      if (i < 4) j.mark_applied(seq);  // recycle the first lap of the ring
+    }
+  });
+  ASSERT_TRUE(j.corrupt_record(99));
+  auto res = j.restart();
+  // The scan stops at the flipped record; everything from it on is dropped.
+  EXPECT_EQ(res.crc_failures, 1u);
+  EXPECT_LT(res.records.size(), 4u);
+  EXPECT_EQ(res.records.size() + 1 + res.truncated, 4u);
+}
+
 TEST(Journal, CloseDuringStallRejectsNewWritesDeterministically) {
   JournalFixture f;
   Journal j(f.sim, f.nvram, Journal::Config{});
