@@ -300,6 +300,86 @@ EcDigest run_ec(std::uint64_t seed) {
   return e;
 }
 
+/// The membership leg's observables: the base run invariants plus the
+/// heartbeat / monitor / fencing evidence, compared across two runs.
+struct MembershipDigest {
+  RunDigest run;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> markdown_events;  // (osd, at)
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> markup_events;
+  std::uint64_t markouts = 0;
+  std::uint64_t false_downs = 0;
+  std::uint64_t map_deltas = 0;
+  std::uint64_t failure_reports = 0;
+  std::uint64_t laggy_flags = 0;
+  std::uint64_t hb_sent = 0;
+  std::uint64_t hb_timeouts = 0;
+  std::uint64_t fenced_ops = 0;       // stale client ops rejected at OSDs
+  std::uint64_t fenced_rep_ops = 0;   // stale rep-ops rejected at replicas
+  std::uint64_t fenced_replies = 0;   // fence rejections clients saw
+  std::uint64_t client_map_updates = 0;
+  std::uint64_t rep_unresolved = 0;   // degraded-ack gating: silent peer -> fail
+  std::uint64_t verify_failures = 0;
+
+  bool operator==(const MembershipDigest&) const = default;
+};
+
+/// One detected-mode soak run. The heartbeat/beacon timers re-arm forever,
+/// so the post-deadline drain is a fixed window (run_until) instead of
+/// running the event queue dry; close_all() then cancels the periodic plane
+/// and the residue drains to empty.
+template <typename Mutate>
+MembershipDigest run_membership(std::uint64_t seed, const fault::FaultPlan& plan,
+                                double write_fraction, bool verify, Mutate mutate) {
+  core::ClusterConfig cfg = chaos_config();
+  cfg.seed = seed;
+  cfg.membership.mode = mon::MembershipMode::kDetected;
+  mutate(cfg);
+  core::ClusterSim cluster(cfg);
+  if (!plan.empty()) cluster.install_faults(plan);
+
+  client::RunStats stats;
+  auto spec = client::WorkloadSpec::rand_write(4096, 4);
+  spec.write_fraction = write_fraction;
+  spec.verify = verify;
+  spec.warmup = 100 * kMillisecond;
+  spec.runtime = 900 * kMillisecond;
+  stats.window_start = spec.warmup;
+  stats.window_end = spec.warmup + spec.runtime;
+  for (std::size_t v = 0; v < cluster.vm_count(); v++) {
+    cluster.vm(v).start(spec, stats.window_end, &stats);
+  }
+  cluster.simulation().run_until(stats.window_end);
+  cluster.simulation().run_until(stats.window_end + 2 * kSecond);  // drain window
+
+  MembershipDigest m;
+  m.run = collect_digest(cluster);
+  m.verify_failures = stats.verify_failures;
+  const mon::Monitor& mon = *cluster.monitor();
+  for (const auto& e : mon.markdowns()) m.markdown_events.emplace_back(e.osd, e.at);
+  for (const auto& e : mon.markups()) m.markup_events.emplace_back(e.osd, e.at);
+  m.markouts = mon.counters().get("mon.markouts");
+  m.false_downs = mon.counters().get("mon.false_downs");
+  m.map_deltas = mon.counters().get("mon.map_deltas");
+  m.failure_reports = mon.counters().get("mon.failure_reports");
+  m.laggy_flags = mon.counters().get("mon.laggy_flags");
+  for (std::size_t o = 0; o < cluster.osd_count(); o++) {
+    const auto& c = cluster.osd(o).counters();
+    m.hb_sent += c.get("osd.hb_sent");
+    m.hb_timeouts += c.get("osd.hb_timeouts");
+    m.fenced_ops += c.get("osd.fenced_ops");
+    m.fenced_rep_ops += c.get("osd.fenced_rep_ops");
+    m.rep_unresolved += c.get("osd.rep_unresolved_failures");
+  }
+  for (std::size_t v = 0; v < cluster.vm_count(); v++) {
+    m.fenced_replies += cluster.vm(v).fenced_replies();
+    m.client_map_updates += cluster.vm(v).map_updates();
+  }
+
+  cluster.close_all();
+  cluster.simulation().run();
+  return m;
+}
+
 int g_failures = 0;
 
 void expect(bool ok, const std::string& what) {
@@ -319,9 +399,9 @@ void check_invariants(const char* label, const RunDigest& d) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--leg=<empty|directed|random|corruption|store|ec>` runs one leg (scripts/check.sh
-  // uses this to give the sanitizer build separate, faster invocations);
-  // no argument runs them all.
+  // `--leg=<empty|directed|random|corruption|store|ec|membership>` runs one
+  // leg (scripts/check.sh uses this to give the sanitizer build separate,
+  // faster invocations); no argument runs them all.
   std::string leg;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
@@ -478,6 +558,111 @@ int main(int argc, char** argv) {
     expect(a == b, "ec plan: same seed must reproduce byte-identical digests");
   }
 
+  // --- detected-mode membership: heartbeats, monitor, epoch fencing -------
+  if (runs("membership")) {
+    const auto no_mutate = [](core::ClusterConfig&) {};
+    const std::uint64_t hb_interval = 20 * kMillisecond;
+    const std::uint64_t hb_grace = 100 * kMillisecond;
+
+    // (a) fault-free: heartbeats flow, nobody is ever suspected or marked
+    // down, and the run is deterministic.
+    std::printf("\n[membership healthy] detected mode, no faults\n");
+    const MembershipDigest h1 = run_membership(42, fault::FaultPlan{}, 1.0, false, no_mutate);
+    const MembershipDigest h2 = run_membership(42, fault::FaultPlan{}, 1.0, false, no_mutate);
+    std::printf("  hb_sent=%llu timeouts=%llu markdowns=%zu false_downs=%llu deltas=%llu\n",
+                (unsigned long long)h1.hb_sent, (unsigned long long)h1.hb_timeouts,
+                h1.markdown_events.size(), (unsigned long long)h1.false_downs,
+                (unsigned long long)h1.map_deltas);
+    check_invariants("membership healthy", h1.run);
+    expect(h1.hb_sent > 0, "membership healthy: heartbeats must flow");
+    expect(h1.hb_timeouts == 0, "membership healthy: no grace expiry without faults");
+    expect(h1.markdown_events.empty(), "membership healthy: no mark-down without faults");
+    expect(h1.false_downs == 0, "membership healthy: no false mark-downs");
+    expect(h1.laggy_flags == 0, "membership healthy: no laggy flags without faults");
+    expect(h1 == h2, "membership healthy: same seed must reproduce identical digests");
+
+    // (b) crash + restart: detection within grace + 2 heartbeat intervals,
+    // never before the grace expires, and the boot beacon marks it up again.
+    std::printf("\n[membership crash/restart] osd.1 down 300ms..550ms\n");
+    fault::FaultPlan crash_plan;
+    crash_plan.crash_restart(300 * kMillisecond, 1, 250 * kMillisecond);
+    const MembershipDigest c1 = run_membership(42, crash_plan, 1.0, false, no_mutate);
+    const MembershipDigest c2 = run_membership(42, crash_plan, 1.0, false, no_mutate);
+    std::printf("  markdowns=%zu markups=%zu reports=%llu deltas=%llu fenced=%llu+%llu+%llu\n",
+                c1.markdown_events.size(), c1.markup_events.size(),
+                (unsigned long long)c1.failure_reports, (unsigned long long)c1.map_deltas,
+                (unsigned long long)c1.fenced_ops, (unsigned long long)c1.fenced_rep_ops,
+                (unsigned long long)c1.fenced_replies);
+    check_invariants("membership crash", c1.run);
+    expect(!c1.markdown_events.empty() && c1.markdown_events[0].first == 1,
+           "membership crash: osd.1 must be marked down");
+    if (!c1.markdown_events.empty()) {
+      const std::uint64_t at = c1.markdown_events[0].second;
+      const std::uint64_t crash_at = 300 * kMillisecond;
+      std::printf("  detection latency: %.1fms after crash\n",
+                  double(at - crash_at) / double(kMillisecond));
+      expect(at >= crash_at + hb_grace,
+             "membership crash: mark-down must wait out the grace period");
+      expect(at <= crash_at + hb_grace + 2 * hb_interval,
+             "membership crash: detection must land within grace + 2 intervals");
+    }
+    expect(!c1.markup_events.empty() && c1.markup_events[0].first == 1,
+           "membership crash: boot beacon must mark osd.1 up again");
+    expect(c1.false_downs == 0, "membership crash: the mark-down was real");
+    expect(c1.map_deltas >= 2, "membership crash: down and up must both publish");
+    expect(c1 == c2, "membership crash: same seed must reproduce identical digests");
+
+    // (c) split brain: osd.0 loses its peers and the monitor but keeps its
+    // clients. Its in-flight writes cannot replicate and must FAIL (silent
+    // peers are not known-down to it), never ack — and once the healthy
+    // side's epoch moves, stale-stamped ops get fenced. Verify mode proves
+    // no acked write was lost.
+    std::printf("\n[membership split-brain] osd.0 isolated from peers+mon, not clients\n");
+    fault::FaultPlan split_plan;
+    for (std::uint32_t peer = 1; peer <= 3; peer++) {
+      split_plan.link_partition(300 * kMillisecond, 0, peer, 300 * kMillisecond);
+    }
+    split_plan.link_partition(300 * kMillisecond, 0, fault::kMonPeer, 300 * kMillisecond);
+    const MembershipDigest s1 = run_membership(42, split_plan, 0.7, true, no_mutate);
+    const MembershipDigest s2 = run_membership(42, split_plan, 0.7, true, no_mutate);
+    std::printf("  markdowns=%zu rep_unresolved=%llu fenced=%llu+%llu+%llu "
+                "verify_failures=%llu below_min=%llu\n",
+                s1.markdown_events.size(), (unsigned long long)s1.rep_unresolved,
+                (unsigned long long)s1.fenced_ops, (unsigned long long)s1.fenced_rep_ops,
+                (unsigned long long)s1.fenced_replies, (unsigned long long)s1.verify_failures,
+                (unsigned long long)s1.run.below_min);
+    check_invariants("membership split", s1.run);
+    expect(!s1.markdown_events.empty() && s1.markdown_events[0].first == 0,
+           "membership split: the isolated osd.0 must be marked down");
+    expect(s1.rep_unresolved > 0,
+           "membership split: writes with silent-but-up peers must fail, not ack");
+    expect(s1.fenced_ops + s1.fenced_rep_ops + s1.fenced_replies > 0,
+           "membership split: stale-epoch ops must be fenced");
+    expect(s1.verify_failures == 0, "membership split: no acked write may be lost");
+    expect(s1.false_downs == 0, "membership split: partition mark-down is correct");
+    expect(s1 == s2, "membership split: same seed must reproduce identical digests");
+
+    // (d) gray failure: a slow SSD leaves heartbeats crisp — the OSD goes
+    // laggy via the op-age self-check but is never marked down.
+    std::printf("\n[membership gray] osd.1 SSD x50 for 400ms, laggy_op_age=2ms\n");
+    fault::FaultPlan gray_plan;
+    gray_plan.ssd_slow(300 * kMillisecond, 1, 50.0, 400 * kMillisecond);
+    const auto gray_mutate = [](core::ClusterConfig& cfg) {
+      cfg.membership.laggy_op_age = 2 * kMillisecond;
+    };
+    const MembershipDigest g1 = run_membership(42, gray_plan, 0.5, false, gray_mutate);
+    const MembershipDigest g2 = run_membership(42, gray_plan, 0.5, false, gray_mutate);
+    std::printf("  laggy_flags=%llu markdowns=%zu false_downs=%llu\n",
+                (unsigned long long)g1.laggy_flags, g1.markdown_events.size(),
+                (unsigned long long)g1.false_downs);
+    check_invariants("membership gray", g1.run);
+    expect(g1.laggy_flags > 0, "membership gray: the slow OSD must be flagged laggy");
+    expect(g1.markdown_events.empty(),
+           "membership gray: alive-but-slow must never be marked down");
+    expect(g1.false_downs == 0, "membership gray: no false mark-downs");
+    expect(g1 == g2, "membership gray: same seed must reproduce identical digests");
+  }
+
   // --- randomized plans, each run twice for determinism -------------------
   for (std::uint64_t seed = 1; runs("random") && seed <= 5; seed++) {
     fault::FaultPlan plan = fault::FaultPlan::random(seed, 150 * kMillisecond,
@@ -498,7 +683,7 @@ int main(int argc, char** argv) {
   if (legs_run == 0) {
     std::fprintf(stderr,
                  "chaos: unknown --leg='%s' "
-                 "(expected empty|directed|random|corruption|store|ec)\n",
+                 "(expected empty|directed|random|corruption|store|ec|membership)\n",
                  leg.c_str());
     return 2;
   }

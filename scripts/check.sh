@@ -5,9 +5,12 @@
 # trajectory, run the transport perf-smoke (fig13 ladder + default-off
 # byte-identity), run the QoS and EC smokes (fig14/fig15 gates), run the
 # store-backend perf smoke (fig16 gate: FlashStore >= FileStore), run the
-# chaos fault-injection soak (all legs, including the FlashStore store
-# leg), re-run that soak under ASan+UBSan, then run the rt/ concurrency stress harness natively and under
-# ThreadSanitizer. Exits non-zero on the first failure.
+# membership smoke (fig17 gate: crash detected within the heartbeat bound,
+# zero false downs) plus its oracle byte-identity check, run the chaos
+# fault-injection soak (all legs, including the FlashStore store and
+# detected-membership legs), re-run that soak under ASan+UBSan, then run
+# the rt/ concurrency stress harness natively and under ThreadSanitizer.
+# Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -78,6 +81,17 @@ python3 -m json.tool "$STORE_JSON" > /dev/null
 echo "store-smoke OK (flash >= file on sustained 4K random write; $STORE_JSON valid)"
 
 echo
+echo "=== membership smoke (fig17 gate: detection bound + zero false downs) ==="
+# The harness is the gate: in detected mode a crashed OSD must be marked
+# down (and the map republished) within hb_grace + 2*hb_interval, and no
+# healthy OSD may ever be marked down, or it exits non-zero.
+MEMBERSHIP_JSON="$BUILD_DIR/bench_membership_smoke.json"
+rm -f "$MEMBERSHIP_JSON"
+AFC_BENCH_JSON="$MEMBERSHIP_JSON" "$BUILD_DIR/bench/fig17_membership" --smoke
+python3 -m json.tool "$MEMBERSHIP_JSON" > /dev/null
+echo "membership-smoke OK (crash detected within bound, 0 false downs; $MEMBERSHIP_JSON valid)"
+
+echo
 echo "=== transport byte-identity (all switches off == explicit community rung) ==="
 # The default-constructed net config IS the community rung; forcing it via
 # the env override must not change a byte of the paper figures.
@@ -98,6 +112,16 @@ cmp "$BUILD_DIR/fig01_default.txt" "$BUILD_DIR/fig01_storefile.txt"
 AFC_STORE=file "$BUILD_DIR/bench/fig03_latency_breakdown" > "$BUILD_DIR/fig03_storefile.txt"
 cmp "$BUILD_DIR/fig03_default.txt" "$BUILD_DIR/fig03_storefile.txt"
 echo "fig01/fig03 byte-identical with AFC_STORE=file"
+
+echo
+echo "=== membership byte-identity (default == explicit oracle mode) ==="
+# Oracle membership is the default rung: no heartbeat timers, no RNG draws,
+# no monitor. Forcing it via AFC_MEMBERSHIP must not change a byte.
+AFC_MEMBERSHIP=oracle "$BUILD_DIR/bench/fig01_baseline" > "$BUILD_DIR/fig01_oracle.txt"
+cmp "$BUILD_DIR/fig01_default.txt" "$BUILD_DIR/fig01_oracle.txt"
+AFC_MEMBERSHIP=oracle "$BUILD_DIR/bench/fig03_latency_breakdown" > "$BUILD_DIR/fig03_oracle.txt"
+cmp "$BUILD_DIR/fig03_default.txt" "$BUILD_DIR/fig03_oracle.txt"
+echo "fig01/fig03 byte-identical with AFC_MEMBERSHIP=oracle"
 
 echo
 echo "=== bench/chaos (fault injection + recovery invariants) ==="
@@ -128,6 +152,12 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos" --leg=store
+# The membership leg: heartbeat state, monitor report lists and the fencing
+# paths churn under crashes, partitions and gray failures — lifetime bugs
+# (timer tokens, connection teardown) surface here first.
+LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  "$ASAN_BUILD_DIR/bench/chaos" --leg=membership
 LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$ASAN_BUILD_DIR/bench/chaos"

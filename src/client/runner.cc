@@ -4,6 +4,10 @@
 
 namespace afc::client {
 
+Time jittered_backoff(Time base, Rng& rng) {
+  return Time(double(base) * (0.5 + rng.uniform()));
+}
+
 void RunStats::record(bool is_write, Time issued, Time completed) {
   auto& series = is_write ? write_series : read_series;
   series.add(completed);
@@ -47,17 +51,79 @@ std::uint64_t VmClient::stable_seed(std::uint64_t image_off) const {
 }
 
 sim::CoTask<void> VmClient::on_message(net::Message m) {
+  if (m.type == osd::kMapDelta) {
+    const auto& delta = static_cast<const osd::MapDeltaMsg&>(*m.body);
+    if (delta.epoch > known_epoch_) {
+      learn_epoch(delta.epoch);
+      map_updates_++;
+      known_laggy_.assign(cmap_.crush().osd_count(), false);
+      for (std::uint32_t o : delta.laggy) {
+        if (o < known_laggy_.size()) known_laggy_[o] = true;
+      }
+    }
+    co_return;
+  }
   if (m.type != osd::kWriteReply && m.type != osd::kReadReply) co_return;
   auto reply = std::static_pointer_cast<osd::IoReplyMsg>(m.body);
   auto it = pending_.find(reply->op_id);
   if (it == pending_.end()) co_return;
   PendingOp* p = it->second;
   pending_.erase(it);
+  if (reply->fenced) {
+    // Stale-epoch rejection: the op was never admitted. Adopt the rejecting
+    // OSD's epoch (the delta itself may still be in flight to us) and let
+    // issue_one resubmit against a re-resolved primary.
+    fenced_replies_++;
+    learn_epoch(reply->map_epoch);
+    p->ok = false;
+    p->fenced = true;
+    completed_++;
+    p->done->set();
+    co_return;
+  }
   p->ok = reply->ok;
   p->data_len = reply->data_len;
   p->data = std::move(reply->data);
   completed_++;
   p->done->set();
+}
+
+void VmClient::learn_epoch(std::uint64_t epoch) {
+  if (epoch <= known_epoch_) return;
+  known_epoch_ = epoch;
+  primary_cache_.clear();
+  cache_epoch_ = epoch;
+}
+
+std::uint32_t VmClient::resolve_primary(std::uint32_t pg, bool is_write) {
+  if (!detected_) return cmap_.primary(pg);
+  // Lazy routing: the cache pins whatever primary this client resolved
+  // under its current epoch; only a learned epoch (delta or fence)
+  // invalidates it. A partitioned client keeps routing on yesterday's map —
+  // which is exactly what epoch fencing exists to catch.
+  if (cache_epoch_ != known_epoch_) {
+    primary_cache_.clear();
+    cache_epoch_ = known_epoch_;
+  }
+  std::uint32_t primary;
+  if (auto it = primary_cache_.find(pg); it != primary_cache_.end()) {
+    primary = it->second;
+  } else {
+    primary = cmap_.primary(pg);
+    primary_cache_[pg] = primary;
+  }
+  if (!is_write && shed_laggy_ && primary < known_laggy_.size() &&
+      known_laggy_[primary]) {
+    // Gray-failure read shedding: any acting member can serve a replicated
+    // read; pick the first one not flagged laggy (writes keep the primary).
+    for (std::uint32_t member : cmap_.acting(pg)) {
+      if (member == cluster::ClusterMap::kNoOsd) continue;
+      if (member < known_laggy_.size() && known_laggy_[member]) continue;
+      laggy_read_sheds_++;
+      return member;
+    }
+  }
+  return primary;
 }
 
 sim::CoTask<VmClient::PendingOp> VmClient::issue(bool is_write, std::uint64_t image_off,
@@ -104,7 +170,13 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
   ops_begun_++;
   PendingOp p{};
   Time timeout = op_timeout_;
-  for (unsigned attempt = 0;; attempt++) {
+  // The op's own backoff stream: jitter is a pure function of (client, op),
+  // independent of every other rng consumer — adding or removing retries
+  // elsewhere cannot shift this op's delays.
+  Rng backoff_rng((client_id_ << 32) ^ (ops_begun_ * 0x9e3779b97f4a7c15ull));
+  unsigned attempt = 0;
+  unsigned fence_resubmits = 0;
+  for (;;) {
     auto msg = std::make_shared<osd::ClientIoMsg>();
     msg->op_id = (client_id_ << 24) | next_seq_++;
     msg->client_id = client_id_;
@@ -116,6 +188,7 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
     msg->is_write = is_write;
     msg->want_data = want_data;
     msg->issued_at = sim_.now();
+    msg->epoch = detected_ ? known_epoch_ : 0;
     if (is_write) {
       msg->data = payload;  // copied: a later attempt resends the same body
     } else {
@@ -124,7 +197,7 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
 
     // Primary recomputed per attempt: an OSD crash bumps the map epoch, and
     // the retry targets whichever OSD CRUSH now elects for this PG.
-    const std::uint32_t primary = cmap_.primary(msg->pg);
+    const std::uint32_t primary = resolve_primary(msg->pg, is_write);
     auto conn_it = osd_conns_.find(primary);
     if (conn_it == osd_conns_.end()) {
       p.ok = false;
@@ -154,7 +227,9 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
       co_await done.wait();
     } else if (co_await done.wait_for(timeout) == sim::TimedOut::kYes) {
       // Attempt abandoned: forget the op id so a late/duplicate reply is
-      // ignored, then back off exponentially and resubmit as a fresh op.
+      // ignored, then back off exponentially (with per-op jitter, so a
+      // crashed primary's clients don't stampede back in lockstep) and
+      // resubmit as a fresh op.
       pending_.erase(op_id);
       if (auto* tr = trace::Collector::active(); tr != nullptr && span.valid()) {
         tr->instant(span, tr->stage_id(stage::kClientRetry), sim_.now());
@@ -164,10 +239,20 @@ sim::CoTask<VmClient::PendingOp> VmClient::issue_one(bool is_write, std::uint64_
         ops_failed_++;
         break;
       }
+      attempt++;
       op_retries_++;
-      const Time backoff = timeout;
+      const Time backoff = jittered_backoff(timeout, backoff_rng);
       timeout = Time(double(timeout) * op_backoff_);
       co_await sim::delay(sim_, backoff, "client.backoff");
+      continue;
+    }
+    if (p.fenced && fence_resubmits < 8) {
+      // The op was fenced, never admitted: re-resolve under the learned
+      // epoch and go again at once. Not a timeout retry — no backoff, no
+      // charge against the attempt budget. The bound only backstops a
+      // monitor publishing epochs faster than this client can learn them.
+      fence_resubmits++;
+      p = PendingOp{};
       continue;
     }
     // client.io: submit → completion as the VM sees it, the outermost span of
@@ -214,8 +299,11 @@ sim::CoTask<void> VmClient::io_loop(WorkloadSpec spec, Time stop_at, RunStats* s
           spec.verify ? stable_seed(off) : (client_id_ << 40) ^ (issued_ * 0x9e37ull) ^ off;
       auto p = co_await issue(true, off, spec.block_size, false,
                               Payload::pattern(spec.block_size, seed), tenant_);
-      (void)p;
-      if (spec.verify) written_offsets_.insert(off);
+      // Only acked writes join the verify ledger: a failed write's content
+      // is undefined (some replicas may hold it), and the exactly-once
+      // contract only covers acked data. Overwrites are safe either way —
+      // the pattern is a pure function of (client, offset).
+      if (spec.verify && p.ok) written_offsets_.insert(off);
     } else {
       const bool check = spec.verify && written_offsets_.count(off) != 0;
       auto p = co_await issue(false, off, spec.block_size, check, Payload{}, tenant_);

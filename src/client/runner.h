@@ -10,9 +10,16 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/timeseries.h"
+#include "mon/membership.h"
 #include "osd/op.h"
 
 namespace afc::client {
+
+/// Exponential-backoff delay with seeded per-op jitter: `base` scaled by a
+/// factor in [0.5, 1.5) drawn from `rng` — the op's own stream, so retry
+/// storms de-synchronize without perturbing any other consumer of
+/// randomness. Pure function of (base, rng state): deterministic.
+Time jittered_backoff(Time base, Rng& rng);
 
 /// Aggregated measurement sink shared by all VMs of one run: latency
 /// histograms and IOPS time-series (for fluctuation analysis) plus the
@@ -72,6 +79,17 @@ class VmClient : public net::Receiver {
     op_backoff_ = backoff;
   }
 
+  /// Detected-mode membership: ops are stamped with the client's learned
+  /// epoch, primaries are resolved through a per-epoch cache (the client is
+  /// *lazy* — it routes on the last map it saw until a delta or a fence
+  /// teaches it better), and with `shed_laggy_primary` reads route around a
+  /// laggy primary. Inert (epoch stamped 0) unless cfg.detected().
+  void set_membership(const mon::MembershipConfig& cfg) {
+    detected_ = cfg.detected();
+    shed_laggy_ = cfg.shed_laggy_primary;
+  }
+  std::uint64_t known_epoch() const { return known_epoch_; }
+
   /// Launch the workload's closed loops; they stop issuing at `stop_at`.
   void start(const WorkloadSpec& spec, Time stop_at, RunStats* sink);
 
@@ -103,10 +121,16 @@ class VmClient : public net::Receiver {
   std::uint64_t op_retries() const { return op_retries_; }
   std::size_t pending_size() const { return pending_.size(); }
 
+  // --- membership accounting (always 0 under kOracle) --------------------
+  std::uint64_t fenced_replies() const { return fenced_replies_; }
+  std::uint64_t map_updates() const { return map_updates_; }
+  std::uint64_t laggy_read_sheds() const { return laggy_read_sheds_; }
+
  private:
   struct PendingOp {
     sim::OneShot* done;
     bool ok = false;
+    bool fenced = false;  // rejected on epoch, never admitted: resubmit
     std::uint64_t data_len = 0;
     std::optional<std::vector<std::uint8_t>> data;
   };
@@ -120,6 +144,12 @@ class VmClient : public net::Receiver {
   sim::CoTask<PendingOp> issue_one(bool is_write, std::uint64_t image_off, std::uint64_t len,
                                    bool want_data, Payload payload, std::uint32_t tenant);
   std::uint64_t stable_seed(std::uint64_t image_off) const;
+  /// Primary for `pg` as *this client* believes it (detected: per-epoch
+  /// cache; oracle: the shared map directly). Reads may shed a laggy
+  /// primary to the first healthy acting member.
+  std::uint32_t resolve_primary(std::uint32_t pg, bool is_write);
+  /// A delta (or a fence's map_epoch) taught us a newer epoch.
+  void learn_epoch(std::uint64_t epoch);
 
   sim::Simulation& sim_;
   cluster::ClusterMap& cmap_;
@@ -142,6 +172,17 @@ class VmClient : public net::Receiver {
   std::uint64_t ops_resolved_ = 0;
   std::uint64_t ops_failed_ = 0;
   std::uint64_t op_retries_ = 0;
+
+  // --- membership state (inert under kOracle) -----------------------------
+  bool detected_ = false;
+  bool shed_laggy_ = false;
+  std::uint64_t known_epoch_ = 1;
+  std::uint64_t cache_epoch_ = 0;  // epoch primary_cache_ was filled under
+  std::unordered_map<std::uint32_t, std::uint32_t> primary_cache_;  // pg -> osd
+  std::vector<bool> known_laggy_;
+  std::uint64_t fenced_replies_ = 0;
+  std::uint64_t map_updates_ = 0;
+  std::uint64_t laggy_read_sheds_ = 0;
 };
 
 }  // namespace afc::client

@@ -20,13 +20,42 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 void Crush::add_osd(std::uint32_t id, std::uint32_t host, double weight) {
-  osds_.push_back(OsdEntry{id, host, weight, true});
+  osds_.push_back(OsdEntry{id, host, weight, true, true});
 }
 
 void Crush::set_up(std::uint32_t id, bool up) {
   for (auto& o : osds_) {
+    if (o.id == id) {
+      o.up = up;
+      o.in = up;
+    }
+  }
+}
+
+void Crush::set_up_only(std::uint32_t id, bool up) {
+  for (auto& o : osds_) {
     if (o.id == id) o.up = up;
   }
+}
+
+void Crush::set_in(std::uint32_t id, bool in) {
+  for (auto& o : osds_) {
+    if (o.id == id) o.in = in;
+  }
+}
+
+bool Crush::is_up(std::uint32_t id) const {
+  for (const auto& o : osds_) {
+    if (o.id == id) return o.up;
+  }
+  return false;
+}
+
+bool Crush::is_in(std::uint32_t id) const {
+  for (const auto& o : osds_) {
+    if (o.id == id) return o.in;
+  }
+  return false;
 }
 
 double Crush::draw(std::uint32_t pool, std::uint32_t pg, std::uint32_t osd, double weight) {
@@ -46,7 +75,7 @@ std::vector<std::uint32_t> Crush::place(std::uint32_t pool, std::uint32_t pg,
   std::vector<Scored> scored;
   scored.reserve(osds_.size());
   for (const auto& o : osds_) {
-    if (!o.up || o.weight <= 0.0) continue;
+    if (!o.in || o.weight <= 0.0) continue;
     scored.push_back({draw(pool, pg, o.id, o.weight), &o});
   }
   std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {

@@ -19,11 +19,24 @@ class Crush {
     std::uint32_t id;
     std::uint32_t host;
     double weight = 1.0;
+    /// Liveness: a down OSD serves nothing, but as long as it is still `in`
+    /// its PGs do not move (degraded, waiting for it to return).
     bool up = true;
+    /// Placement membership: only `in` OSDs draw straws. Marking an OSD out
+    /// is the data-movement decision; marking it down is not.
+    bool in = true;
   };
 
   void add_osd(std::uint32_t id, std::uint32_t host, double weight = 1.0);
+  /// Oracle-style availability flip: down-and-out / up-and-in in one step
+  /// (the pre-membership behaviour — placement follows liveness instantly).
   void set_up(std::uint32_t id, bool up);
+  /// Liveness only: placement keeps the OSD's PGs where they are.
+  void set_up_only(std::uint32_t id, bool up);
+  /// Placement membership only (the monitor's mark-out / mark-in).
+  void set_in(std::uint32_t id, bool in);
+  bool is_up(std::uint32_t id) const;
+  bool is_in(std::uint32_t id) const;
   std::size_t osd_count() const { return osds_.size(); }
   const std::vector<OsdEntry>& osds() const { return osds_; }
 

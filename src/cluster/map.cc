@@ -46,4 +46,14 @@ std::vector<std::uint32_t> ClusterMap::ec_remap(
   return next;
 }
 
+void ClusterMap::filter_down_members(std::vector<std::uint32_t>& acting) const {
+  if (erasure()) {
+    for (auto& o : acting) {
+      if (o != kNoOsd && !crush_.is_up(o)) o = kNoOsd;
+    }
+    return;
+  }
+  std::erase_if(acting, [this](std::uint32_t o) { return !crush_.is_up(o); });
+}
+
 }  // namespace afc::cluster

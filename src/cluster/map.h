@@ -62,6 +62,14 @@ class ClusterMap {
   std::uint64_t epoch() const { return epoch_; }
   void bump_epoch() { epoch_++; }
 
+  /// Detected-membership semantics: acting sets exclude down-but-still-in
+  /// members *without replacement* (replicated sets shrink; EC positions
+  /// hole to kNoOsd), so a mark-down degrades the PG but moves no data —
+  /// only a mark-out (CRUSH `in = false`) re-places. Off by default: the
+  /// oracle path keeps up == in and acting sets always full-size.
+  void set_filter_down(bool on) { filter_down_ = on; }
+  bool filter_down() const { return filter_down_; }
+
   /// Stable hash of an object name onto a PG (ps = placement seed).
   std::uint32_t pg_of(std::string_view object_name) const;
 
@@ -80,6 +88,7 @@ class ClusterMap {
     if (slot.empty()) {
       auto raw = crush_.place(/*pool=*/0, pg, pool_size());
       slot = erasure() ? ec_remap(pg, raw) : std::move(raw);
+      if (filter_down_) filter_down_members(slot);
     }
     return slot;
   }
@@ -97,8 +106,14 @@ class ClusterMap {
   std::vector<std::uint32_t> ec_remap(
       std::uint32_t pg, const std::vector<std::uint32_t>& raw) const;
 
+  /// Drop down members from an acting set in place (detected mode only).
+  /// The ec_assign_ record keeps the unfiltered assignment, so a member
+  /// that comes back up reclaims its exact shard position.
+  void filter_down_members(std::vector<std::uint32_t>& acting) const;
+
   PoolConfig pool_;
   Crush crush_;
+  bool filter_down_ = false;
   std::uint64_t epoch_ = 1;
   mutable std::uint64_t cache_epoch_ = 0;
   mutable std::vector<std::vector<std::uint32_t>> acting_cache_;

@@ -52,6 +52,10 @@ inline constexpr const char* kClientRetry = "client.retry";       // client resu
 inline constexpr const char* kJournalReplay = "journal.replay";   // restart re-applied a record
 inline constexpr const char* kScrubRepair = "scrub.repair";       // deep scrub repaired a replica
 
+// Membership markers (detected mode only; docs/FAULTS.md "injected vs detected").
+inline constexpr const char* kHeartbeat = "osd.heartbeat";        // a peer crossed the grace period
+inline constexpr const char* kMapUpdate = "osd.map_update";       // the monitor published a new epoch
+
 // Erasure-coding markers (docs/EC.md).
 inline constexpr const char* kEcShardRead = "osd.ec.shard_read";  // span: shard fetch at a holder
 inline constexpr const char* kEcReconstruct = "osd.ec.reconstruct";  // degraded read decoded

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "common/stage_names.h"
@@ -67,9 +68,26 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
       std::fprintf(stderr, "AFC_STORE: unknown backend '%s' (ignored)\n", s);
     }
   }
+  // AFC_MEMBERSHIP overrides the failure-detection mode the same way —
+  // check.sh uses it to prove an explicit `oracle` is byte-identical to the
+  // default and to soak `detected` without touching bench code.
+  if (const char* m = std::getenv("AFC_MEMBERSHIP"); m != nullptr && m[0] != '\0') {
+    if (std::strcmp(m, "oracle") == 0) {
+      cfg_.membership.mode = mon::MembershipMode::kOracle;
+    } else if (std::strcmp(m, "detected") == 0) {
+      cfg_.membership.mode = mon::MembershipMode::kDetected;
+    } else {
+      std::fprintf(stderr, "AFC_MEMBERSHIP: unknown mode '%s' (ignored)\n", m);
+    }
+  }
   // Pool-level QoS plumbing: the cluster-wide TenantProfile table becomes
   // every OSD's scheduler config (add_node() inherits it the same way).
   cfg_.osd.qos = cfg_.qos;
+  cfg_.osd.membership = cfg_.membership;
+  // Detected mode splits liveness from placement: acting sets must drop
+  // *down* members immediately (no data movement) while *out* — the
+  // placement change — waits for the monitor's down_out_interval.
+  cmap_.set_filter_down(cfg_.membership.detected());
   cfg_.ssd.sustained = cfg_.sustained;
   cfg_.fs.assume_populated = cfg_.populated < 0 ? cfg_.sustained : cfg_.populated != 0;
   // EC pools can never fabricate pre-existing objects: a synthesized shard
@@ -162,6 +180,54 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
       vms_.back()->add_osd_conn(i, conn);
     }
   }
+
+  // --- membership plane (kDetected only; kOracle builds none of this) ----
+  if (cfg_.membership.detected()) {
+    std::vector<osd::Osd*> roster;
+    roster.reserve(osds_.size());
+    for (auto& o : osds_) roster.push_back(o.get());
+    for (auto& o : osds_) o->set_cluster_osds(roster);
+
+    mon_node_ = std::make_unique<net::Node>(sim_, "mon",
+                                            net::Node::Config{4, 1250 * kMiB});
+    monitor_ = std::make_unique<mon::Monitor>(sim_, cmap_, cfg_.membership);
+    mon_msgr_ = std::make_unique<net::Messenger>(sim_, *mon_node_, *monitor_, "mon");
+    // Ground truth for the false-positive counter: an OSD is "actually
+    // failed" iff its daemon is blackholed or some injected fault sits on a
+    // link touching its messenger (partition mark-downs are correct).
+    monitor_->set_liveness_probe([this](std::uint32_t id) {
+      net::Messenger& target = osds_[id]->messenger();
+      if (target.blackholed()) return true;
+      for (const auto& o : osds_) {
+        for (const auto& c : o->messenger().connections()) {
+          if ((&c->local() == &target || &c->remote() == &target) && c->fault().any()) {
+            return true;
+          }
+        }
+      }
+      for (const auto& c : mon_msgr_->connections()) {
+        if ((&c->local() == &target || &c->remote() == &target) && c->fault().any()) {
+          return true;
+        }
+      }
+      return false;
+    });
+    // Wire mon<->OSD in id order and mon<->client in client order — both
+    // registration orders are part of the determinism contract (publish
+    // iterates them).
+    for (unsigned i = 0; i < total_osds; i++) {
+      net::Connection* conn = mon_msgr_->connect(osds_[i]->messenger(), cluster_net);
+      monitor_->add_osd_subscriber(i, conn);
+      osds_[i]->set_mon_conn(conn->reverse());
+    }
+    for (auto& vm : vms_) {
+      monitor_->add_client_subscriber(mon_msgr_->connect(vm->messenger(), client_net));
+      vm->set_membership(cfg_.membership);
+    }
+    for (unsigned i = 0; i < total_osds; i++) {
+      osds_[i]->start_membership(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+    }
+  }
 }
 
 ClusterSim::~ClusterSim() {
@@ -251,8 +317,20 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
       r.qos_limit_deferrals += qos->stats().limit_deferrals;
       r.qos_queue_hwm = std::max(r.qos_queue_hwm, qos->stats().depth_hwm);
     }
+    r.hb_sent += o->counters().get("osd.hb_sent");
+    r.hb_timeouts += o->counters().get("osd.hb_timeouts");
+    r.fenced_ops +=
+        o->counters().get("osd.fenced_ops") + o->counters().get("osd.fenced_rep_ops");
     for (unsigned s = 0; s < osd::kStageCount; s++) stage_merged[s].merge(o->stage_delta(s));
     total_merged.merge(o->write_total_hist());
+  }
+  if (monitor_ != nullptr) {
+    r.failure_reports = monitor_->counters().get("mon.failure_reports");
+    r.false_downs = monitor_->counters().get("mon.false_downs");
+    r.map_deltas = monitor_->counters().get("mon.map_deltas");
+    r.mon_markdowns = monitor_->counters().get("mon.markdowns");
+    r.mon_markouts = monitor_->counters().get("mon.markouts");
+    r.laggy_flags = monitor_->counters().get("mon.laggy_flags");
   }
   for (unsigned s = 0; s < osd::kStageCount; s++) r.stage_ms[s] = stage_merged[s].mean_ms();
   r.write_path_total_ms = total_merged.mean_ms();
@@ -262,6 +340,7 @@ void ClusterSim::collect_osd_stats(RunResult& r) const {
   net::NetStats net;
   for (const auto& o : osds_) net.merge(o->messenger().net_stats());
   for (const auto& v : vms_) net.merge(v->messenger().net_stats());
+  if (mon_msgr_ != nullptr) net.merge(mon_msgr_->net_stats());
   r.net_messages = net.messages;
   r.net_frames = net.frames;
   r.net_batches = net.batches;
@@ -284,8 +363,11 @@ fault::FaultInjector& ClusterSim::install_faults(const fault::FaultPlan& plan) {
     }
     for (auto& s : ssds_) ssds.push_back(s.get());
     for (auto& vm : vms_) endpoints.push_back(&vm->messenger());
+    if (mon_msgr_ != nullptr) endpoints.push_back(mon_msgr_.get());
     injector_ = std::make_unique<fault::FaultInjector>(
         sim_, cmap_, std::move(osds), std::move(ssds), std::move(endpoints), cfg_.seed);
+    injector_->set_detected(cfg_.membership.detected());
+    injector_->set_monitor(mon_msgr_.get());
   }
   injector_->install(plan);
   return *injector_;
@@ -650,8 +732,10 @@ sim::CoTask<ClusterSim::ScrubReport> ClusterSim::deep_scrub_ec(bool repair) {
 }
 
 void ClusterSim::close_all() {
+  if (monitor_ != nullptr) monitor_->close();
   for (auto& o : osds_) o->close();
   for (auto& vm : vms_) vm->messenger().close_all();
+  if (mon_msgr_ != nullptr) mon_msgr_->close_all();
 }
 
 }  // namespace afc::core

@@ -10,6 +10,7 @@
 #include "device/nvram.h"
 #include "device/ssd.h"
 #include "fault/injector.h"
+#include "mon/monitor.h"
 #include "osd/osd.h"
 
 namespace afc::core {
@@ -61,6 +62,14 @@ struct ClusterConfig {
   /// cluster level — the pool's TenantProfile table — and plumbed into each
   /// OSD the cluster builds (including nodes added later). Off by default.
   osd::QosConfig qos;
+
+  /// Membership & failure detection. kOracle (default) keeps today's
+  /// omniscient semantics — crashes instantly flip the shared CRUSH map, no
+  /// heartbeats, no monitor, byte-identical event stream. kDetected builds a
+  /// monitor node, starts OSD<->OSD heartbeats, and routes every membership
+  /// decision through failure reports + epoch-fenced map deltas.
+  /// AFC_MEMBERSHIP=oracle|detected overrides at runtime.
+  mon::MembershipConfig membership;
 
   Profile profile;
   osd::OsdConfig osd;
@@ -142,6 +151,19 @@ struct RunResult {
   std::uint64_t qos_weight_grants = 0;
   std::uint64_t qos_limit_deferrals = 0;
   std::uint64_t qos_queue_hwm = 0;  // deepest tenant-queue backlog, any OSD
+  // Membership & failure detection (all zero under kOracle): heartbeats
+  // sent / grace expiries, failure reports received by the monitor, monitor
+  // mark-downs that the liveness probe called healthy, and map deltas
+  // published. fenced_ops counts stale-epoch ops rejected cluster-wide.
+  std::uint64_t hb_sent = 0;
+  std::uint64_t hb_timeouts = 0;
+  std::uint64_t failure_reports = 0;
+  std::uint64_t false_downs = 0;
+  std::uint64_t map_deltas = 0;
+  std::uint64_t fenced_ops = 0;
+  std::uint64_t mon_markdowns = 0;
+  std::uint64_t mon_markouts = 0;
+  std::uint64_t laggy_flags = 0;
 };
 
 /// Builds a simulated Ceph cluster (community or AFCeph per the profile)
@@ -177,6 +199,9 @@ class ClusterSim {
   /// injector so the caller can read its counters afterwards.
   fault::FaultInjector& install_faults(const fault::FaultPlan& plan);
   fault::FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// The cluster monitor, or nullptr under kOracle (no monitor is built).
+  mon::Monitor* monitor() { return monitor_.get(); }
 
   // --- elasticity & failure handling -------------------------------------
   /// Take an OSD out of the CRUSH map (failure / decommission), recompute
@@ -233,6 +258,10 @@ class ClusterSim {
   std::vector<std::unique_ptr<dev::SsdModel>> ssds_;
   std::vector<std::unique_ptr<osd::Osd>> osds_;
   std::vector<std::unique_ptr<client::VmClient>> vms_;
+  // Detected-mode membership plane (all null/empty under kOracle).
+  std::unique_ptr<net::Node> mon_node_;
+  std::unique_ptr<mon::Monitor> monitor_;
+  std::unique_ptr<net::Messenger> mon_msgr_;
   std::unique_ptr<fault::FaultInjector> injector_;
   bool ran_ = false;
 };

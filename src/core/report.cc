@@ -35,6 +35,37 @@ std::string health_report(ClusterSim& cluster) {
            cm.pool().pg_num, cm.ack_floor());
   }
 
+  // Membership plane (detected mode only — oracle runs print nothing here,
+  // keeping their report byte-identical to the pre-membership tree).
+  if (auto* mon = cluster.monitor(); mon != nullptr) {
+    const auto down = mon->down_osds();
+    const auto out_ids = mon->out_osds();
+    const auto laggy = mon->laggy_osds();
+    append(out, "membership: epoch %llu, %zu up / %zu down / %zu out, %zu laggy\n",
+           (unsigned long long)cm.epoch(), cluster.osd_count() - down.size(), down.size(),
+           out_ids.size(), laggy.size());
+    const auto id_list = [&](const char* label, const std::vector<std::uint32_t>& ids) {
+      if (ids.empty()) return;
+      append(out, "  %s:", label);
+      for (std::uint32_t id : ids) append(out, " osd.%u", id);
+      append(out, "\n");
+    };
+    id_list("down", down);
+    id_list("out", out_ids);
+    id_list("laggy", laggy);
+    append(out,
+           "  reports %llu (laggy %llu) | markdowns %llu (deferred %llu, false %llu) "
+           "markups %llu markouts %llu | deltas %llu\n",
+           (unsigned long long)mon->counters().get("mon.failure_reports"),
+           (unsigned long long)mon->counters().get("mon.laggy_reports"),
+           (unsigned long long)mon->counters().get("mon.markdowns"),
+           (unsigned long long)mon->counters().get("mon.markdowns_deferred"),
+           (unsigned long long)mon->counters().get("mon.false_downs"),
+           (unsigned long long)mon->counters().get("mon.markups"),
+           (unsigned long long)mon->counters().get("mon.markouts"),
+           (unsigned long long)mon->counters().get("mon.map_deltas"));
+  }
+
   for (std::size_t n = 0; n < cluster.config().osd_nodes && n * cluster.config().osds_per_node <
                                                                 cluster.osd_count();
        n++) {
@@ -114,6 +145,18 @@ std::string health_report(ClusterSim& cluster) {
              "shards-rebuilt %llu parity-mismatch %llu\n",
              (unsigned long long)below, (unsigned long long)degraded, (unsigned long long)dec,
              (unsigned long long)reb, (unsigned long long)pmm);
+    }
+    // Heartbeat / fencing evidence — nonzero only in detected mode.
+    const std::uint64_t hbs = o.counters().get("osd.hb_sent");
+    if (hbs > 0) {
+      append(out,
+             "       hb: sent %llu timeouts %llu recoveries %llu | fenced cli %llu rep %llu | "
+             "epoch %llu\n",
+             (unsigned long long)hbs, (unsigned long long)o.counters().get("osd.hb_timeouts"),
+             (unsigned long long)o.counters().get("osd.hb_recoveries"),
+             (unsigned long long)o.counters().get("osd.fenced_ops"),
+             (unsigned long long)o.counters().get("osd.fenced_rep_ops"),
+             (unsigned long long)o.known_epoch());
     }
   }
   return out;

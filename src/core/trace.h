@@ -32,6 +32,9 @@ inline constexpr std::uint32_t kOsdTrackBase = 0x1000000;
 inline constexpr std::uint32_t kRtTrack = 0x2000000;
 /// Fault-injection events render on their own track (span id = plan index).
 inline constexpr std::uint32_t kFaultTrack = 0x3000000;
+/// Monitor membership decisions (mark-down/up/out, map publishes) render on
+/// their own track (span id = the epoch the decision produced).
+inline constexpr std::uint32_t kMonTrack = 0x4000000;
 inline std::uint32_t client_track(std::uint64_t client_id) { return std::uint32_t(client_id); }
 inline std::uint32_t osd_track(std::uint32_t osd_id) { return kOsdTrackBase + osd_id; }
 

@@ -187,9 +187,14 @@ bool FaultInjector::corrupt_parity_shard(std::uint32_t osd, std::uint64_t seed) 
 void FaultInjector::set_link_fault(std::uint32_t osd, std::uint32_t peer,
                                    const net::Connection::Fault& f) {
   net::Messenger* a = &osds_[osd]->messenger();
-  net::Messenger* b = (peer != kAllPeers && peer < osds_.size()) ? &osds_[peer]->messenger()
-                                                                 : nullptr;
-  if (peer != kAllPeers && b == nullptr) return;
+  net::Messenger* b = nullptr;
+  if (peer == kMonPeer) {
+    if (mon_ == nullptr) return;
+    b = mon_;
+  } else if (peer != kAllPeers) {
+    if (peer >= osds_.size()) return;
+    b = &osds_[peer]->messenger();
+  }
   std::uint64_t n = 0;
   for (net::Messenger* m : endpoints_) {
     for (const auto& conn : m->connections()) {
@@ -209,6 +214,15 @@ void FaultInjector::set_link_fault(std::uint32_t osd, std::uint32_t peer,
 }
 
 void FaultInjector::do_crash(std::uint32_t osd) {
+  if (detected_) {
+    // Purely physical: the daemon dies — messenger blackholed, volatile
+    // state dropped. No CRUSH flip, no epoch bump, no retarget: peers must
+    // *notice* via heartbeats and the monitor must arbitrate the mark-down.
+    if (osds_[osd]->messenger().blackholed()) return;  // already dead
+    osds_[osd]->messenger().set_blackhole(true);
+    osds_[osd]->on_crash();
+    return;
+  }
   if (!cmap_.crush().osds()[osd].up) return;  // already down
   std::vector<std::vector<std::uint32_t>> old_acting(cmap_.pool().pg_num);
   for (std::uint32_t pg = 0; pg < cmap_.pool().pg_num; pg++) old_acting[pg] = cmap_.acting(pg);
@@ -220,6 +234,19 @@ void FaultInjector::do_crash(std::uint32_t osd) {
 }
 
 void FaultInjector::do_restart(std::uint32_t osd) {
+  if (detected_) {
+    if (!osds_[osd]->messenger().blackholed()) return;  // never crashed
+    if (osd < ssds_.size()) ssds_[osd]->note_daemon_restart();
+    sim::spawn_fn([this, osd]() -> sim::CoTask<void> {
+      // Replay first, exactly like the oracle path; then the boot beacon is
+      // the detected-mode mark-up — the monitor bumps the epoch, publishes,
+      // and the surviving primaries backfill what the daemon missed.
+      co_await osds_[osd]->on_restart();
+      osds_[osd]->messenger().set_blackhole(false);
+      osds_[osd]->announce_boot();
+    });
+    return;
+  }
   if (cmap_.crush().osds()[osd].up) return;  // never crashed / already back
   // The FTL idled through the downtime and caught up on deferred erase
   // work; the fresh daemon does not inherit the dead one's GC debt. (Wear

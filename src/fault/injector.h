@@ -40,6 +40,15 @@ class FaultInjector {
   /// Schedule every event of `plan` (callable once per injector).
   void install(const FaultPlan& plan);
 
+  /// Detected-mode membership (docs/FAULTS.md "injected vs detected"):
+  /// crashes and restarts become purely physical — blackhole the messenger
+  /// and drop volatile state, but never touch CRUSH, never bump the epoch,
+  /// never retarget PGs. Detection and map surgery belong to the heartbeat /
+  /// monitor pipeline. Default off: the oracle semantics above.
+  void set_detected(bool d) { detected_ = d; }
+  /// The monitor's messenger, for kMonPeer-directed link faults.
+  void set_monitor(net::Messenger* m) { mon_ = m; }
+
   Counters& counters() { return counters_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -75,6 +84,8 @@ class FaultInjector {
   FaultPlan plan_;
   Counters counters_;
   bool installed_ = false;
+  bool detected_ = false;
+  net::Messenger* mon_ = nullptr;
 };
 
 }  // namespace afc::fault

@@ -44,6 +44,10 @@ struct FaultEvent {
 };
 
 inline constexpr std::uint32_t kAllPeers = ~std::uint32_t(0);
+/// Link-fault peer value targeting the OSD<->monitor link (detected-mode
+/// membership): cuts only the management path, leaving the data path up —
+/// the OSD keeps serving but can neither report failures nor learn maps.
+inline constexpr std::uint32_t kMonPeer = ~std::uint32_t(0) - 1;
 
 /// A deterministic, seed-stable schedule of faults on the simulated
 /// timeline. Build one with the fluent helpers (times are absolute sim-time

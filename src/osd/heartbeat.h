@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "mon/membership.h"
+#include "sim/simulation.h"
+
+namespace afc::osd {
+
+class Osd;
+
+/// The failure-detection half of one OSD daemon (MembershipMode::kDetected
+/// only; never constructed under kOracle). On a seeded, jittered interval it
+/// pings every CRUSH-adjacent peer — the union of this OSD's PG acting sets
+/// — over the same messenger connections the data path uses, so a link
+/// fault or blackhole shapes heartbeats exactly like it shapes rep-ops.
+///
+/// Per peer it tracks the last reply arrival and an RTT EWMA. A peer silent
+/// past `hb_grace` becomes *suspect*: reported to the monitor once per tick
+/// until it answers again (re-reporting keeps the report fresh across the
+/// monitor's TTL pruning). A peer whose RTT EWMA crosses `laggy_rtt`, or
+/// this OSD itself when its oldest in-flight op exceeds `laggy_op_age`, is
+/// reported laggy — alive but slow — which flags without evicting.
+///
+/// The agent also beacons the monitor every `beacon_interval`, which is how
+/// a partition-healed (never-crashed) daemon gets marked up again. All
+/// timer state dies with the daemon on crash (on_crash) and restarts with
+/// fresh baselines after journal replay (on_restart).
+class HeartbeatAgent {
+ public:
+  HeartbeatAgent(sim::Simulation& sim, Osd& osd, const mon::MembershipConfig& cfg,
+                 std::uint64_t seed);
+
+  /// Baseline every peer at "seen now" and schedule the first tick.
+  void start();
+  /// Cancel the pending tick (shutdown).
+  void stop();
+  /// Re-derive the CRUSH-adjacent peer set from the OSD's PGs (called after
+  /// a map delta changed acting sets). New peers baseline at "seen now".
+  void refresh_peers();
+
+  /// A ping reply arrived: refresh last-seen, fold the echoed timestamp
+  /// into the RTT EWMA, clear any suspicion.
+  void on_ping_reply(std::uint32_t from, Time echoed_sent_at);
+
+  /// Daemon RAM (peer table, pending tick) is gone.
+  void on_crash();
+  /// Post-replay restart: fresh baselines, resume ticking.
+  void on_restart();
+
+  /// Smoothed RTT to `peer` in ns (0 until the first sample).
+  double rtt_ewma_ns(std::uint32_t peer) const;
+  const std::vector<std::uint32_t>& peers() const { return peers_; }
+
+ private:
+  void tick();
+  void schedule_next();
+
+  struct PeerHb {
+    Time last_seen = 0;      // last reply arrival (baselined at start)
+    double rtt_ewma_ns = 0;  // 0 until the first sample
+    bool suspected = false;
+  };
+
+  sim::Simulation& sim_;
+  Osd& osd_;
+  mon::MembershipConfig cfg_;
+  Rng rng_;
+  std::vector<std::uint32_t> peers_;       // ascending CRUSH-adjacent ids
+  std::map<std::uint32_t, PeerHb> state_;  // ordered: the tick iterates it
+  Time next_beacon_at_ = 0;
+  sim::TimerToken tick_timer_;
+  bool armed_ = false;
+  bool running_ = false;
+};
+
+}  // namespace afc::osd

@@ -22,6 +22,13 @@ enum MsgType : int {
   kReadReply = 6,
   kShardRead = 7,       // EC primary -> shard holder (gather for a read)
   kShardReadReply = 8,  // shard holder -> EC primary
+  // --- membership traffic (only under MembershipMode::kDetected) ---------
+  kHbPing = 9,           // OSD -> CRUSH-adjacent peer
+  kHbPingReply = 10,     // peer -> OSD (echoes the ping timestamp)
+  kFailureReport = 11,   // OSD -> monitor (dead suspicion or laggy flag)
+  kMonBeacon = 12,       // OSD -> monitor (liveness / boot announcement)
+  kMapDelta = 13,        // monitor -> subscribers (epoch + membership state)
+  kMapRequest = 14,      // anyone -> monitor (fetch the current map)
 };
 
 /// A client I/O request (MOSDOp).
@@ -37,6 +44,10 @@ struct ClientIoMsg : net::MsgBody {
   bool is_write = false;
   bool want_data = false;  // reads: materialize bytes (verification)
   Time issued_at = 0;
+  /// Sender's map epoch (detected membership only; 0 = oracle mode, never
+  /// checked). A receiver with a newer map fences the op instead of
+  /// serving it — see IoReplyMsg::fenced.
+  std::uint64_t epoch = 0;
 };
 
 /// Replication sub-op (MOSDRepOp) carrying the transaction payload.
@@ -47,6 +58,7 @@ struct RepOpMsg : net::MsgBody {
   std::uint64_t offset = 0;
   Payload data;
   std::uint64_t version = 0;
+  std::uint64_t epoch = 0;  // primary's map epoch (detected membership only)
 };
 
 /// Replica journal-commit ack (MOSDRepOpReply). `from_osd` lets the primary
@@ -56,6 +68,10 @@ struct RepReplyMsg : net::MsgBody {
   std::uint64_t op_id = 0;
   std::uint32_t pg = 0;
   std::uint32_t from_osd = 0;
+  /// The replica's map is newer than the rep-op's epoch: the sub-op was
+  /// rejected, `map_epoch` tells the stale primary what to catch up to.
+  bool fenced = false;
+  std::uint64_t map_epoch = 0;
 };
 
 /// EC shard fetch (primary gathering chunks for a striped read). The
@@ -86,7 +102,56 @@ struct IoReplyMsg : net::MsgBody {
   std::uint64_t data_len = 0;
   std::optional<std::vector<std::uint8_t>> data;  // reads with want_data
   Time issued_at = 0;
+  /// Op rejected because its epoch was stale (detected membership only);
+  /// `map_epoch` is the rejecting OSD's epoch. The client re-resolves the
+  /// primary and resubmits immediately — the op was never admitted.
+  bool fenced = false;
+  std::uint64_t map_epoch = 0;
 };
+
+// --- membership wire messages (MembershipMode::kDetected only) -----------
+
+/// Heartbeat ping / reply. The reply echoes `sent_at` so the sender can
+/// compute an RTT without per-ping bookkeeping surviving a restart.
+struct HbPingMsg : net::MsgBody {
+  std::uint32_t from_osd = 0;
+  Time sent_at = 0;
+};
+
+struct HbPingReplyMsg : net::MsgBody {
+  std::uint32_t from_osd = 0;
+  Time sent_at = 0;  // echoed from the ping
+};
+
+/// OSD -> monitor: `target` has been silent past the grace period
+/// (`laggy == false`), or is alive but slow (`laggy == true`). Reporters
+/// re-send while the condition holds; the monitor prunes by report age.
+struct FailureReportMsg : net::MsgBody {
+  std::uint32_t reporter = 0;
+  std::uint32_t target = 0;
+  bool laggy = false;
+};
+
+/// OSD -> monitor liveness beacon. `boot` marks the first beacon after a
+/// restart's journal replay finished (Ceph's MOSDBoot vs MOSDBeacon).
+struct MonBeaconMsg : net::MsgBody {
+  std::uint32_t osd = 0;
+  bool boot = false;
+};
+
+/// Monitor -> subscriber map update. Carries the epoch plus the *full*
+/// down/out/laggy state — self-healing against dropped deltas: applying
+/// the newest delta always reconstructs the subscriber's view.
+struct MapDeltaMsg : net::MsgBody {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> down;
+  std::vector<std::uint32_t> out;
+  std::vector<std::uint32_t> laggy;
+};
+
+/// Anyone -> monitor: send me the current map (share-on-contact catch-up
+/// after a fence or a missed delta).
+struct MapRequestMsg : net::MsgBody {};
 
 /// Fig. 3 stage indices for the write-path latency breakdown.
 enum Stage : unsigned {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ec/layout.h"
+#include "osd/ec_rebuild.h"
 
 namespace afc::osd {
 
@@ -147,6 +148,31 @@ sim::CoTask<void> Osd::on_message(net::Message m) {
     case kShardReadReply:
       handle_shard_read_reply(std::static_pointer_cast<ShardReadReplyMsg>(m.body));
       break;
+    case kHbPing: {
+      // Answered inline from dispatch with no CPU charge: heartbeats must
+      // measure the *network* path, not queueing — a busy OSD with a live
+      // link is alive (the laggy watermarks cover slow, not this).
+      const auto& ping = static_cast<const HbPingMsg&>(*m.body);
+      if (m.reply_to != nullptr) {
+        auto reply = std::make_shared<HbPingReplyMsg>();
+        reply->from_osd = id_;
+        reply->sent_at = ping.sent_at;
+        net::Message wire;
+        wire.type = kHbPingReply;
+        wire.size = 80;
+        wire.body = std::move(reply);
+        m.reply_to->send(std::move(wire));
+      }
+      break;
+    }
+    case kHbPingReply: {
+      const auto& pr = static_cast<const HbPingReplyMsg&>(*m.body);
+      if (hb_ != nullptr) hb_->on_ping_reply(pr.from_osd, pr.sent_at);
+      break;
+    }
+    case kMapDelta:
+      apply_map_delta(static_cast<const MapDeltaMsg&>(*m.body));
+      break;
     default:
       break;
   }
@@ -154,6 +180,20 @@ sim::CoTask<void> Osd::on_message(net::Message m) {
 
 sim::CoTask<void> Osd::dispatch_client_op(std::shared_ptr<ClientIoMsg> msg,
                                           net::Connection* conn) {
+  if (cfg_.membership.detected() && msg->epoch != 0) {
+    if (msg->epoch > known_epoch_) {
+      // The client knows a newer map than we do: serve the op (its routing
+      // was at least as fresh as ours) but catch up.
+      request_map();
+    } else if (msg->epoch < known_epoch_) {
+      // Epoch fence: the client routed with a stale map. Reject before any
+      // throttle or ledger admission — it may have picked the wrong
+      // primary, and a split-brain ex-primary must not keep acking writes.
+      counters_.add("osd.fenced_ops");
+      send_fence_reply(*msg, conn);
+      co_return;
+    }
+  }
   if (qos_ != nullptr) {
     // QoS path: decode and classify in dispatch context, then park the op in
     // its tenant's dmClock queue. The message throttles move downstream
@@ -233,6 +273,23 @@ sim::CoTask<void> Osd::dispatch_rep_reply(std::shared_ptr<RepReplyMsg> msg) {
   auto it = inflight_.find(msg->op_id);
   if (it == inflight_.end()) co_return;
   OpRef op = it->second;
+  if (msg->fenced) {
+    // The replica's map outpaced this rep-op's stamped epoch. The publish
+    // that fenced it has usually reached us too by now — restamp and resend
+    // straight away; if not, fetch the map and let the watchdog's next
+    // resend round carry the fresh epoch.
+    counters_.add("osd.fenced_rep_replies");
+    if (known_epoch_ >= msg->map_epoch) {
+      if (!op->acked && !op->failed &&
+          std::find(op->waiting_peers.begin(), op->waiting_peers.end(),
+                    msg->from_osd) != op->waiting_peers.end()) {
+        send_rep_op(*op, msg->from_osd);
+      }
+    } else {
+      request_map();
+    }
+    co_return;
+  }
   // Credit each replica once: lossy-link retransmission and watchdog repop
   // resends can both duplicate the commit ack.
   if (std::find(op->peers_committed.begin(), op->peers_committed.end(), msg->from_osd) !=
@@ -509,6 +566,29 @@ sim::CoTask<void> Osd::flash_commit_path(OpRef op) {
 
 sim::CoTask<void> Osd::process_replica_op(WorkItem& item) {
   RepOpMsg& rep = *item.rep;
+  if (cfg_.membership.detected() && rep.epoch != 0 && rep.epoch < known_epoch_) {
+    // Epoch fence (replica side): the primary prepared this sub-op under a
+    // map older than ours. Reject before journaling — a stale ex-primary's
+    // write must not gain durable copies — and tell it what to catch up to.
+    counters_.add("osd.fenced_rep_ops");
+    if (item.conn != nullptr) {
+      auto reply = std::make_shared<RepReplyMsg>();
+      reply->op_id = rep.op_id;
+      reply->pg = rep.pg;
+      reply->from_osd = id_;
+      reply->fenced = true;
+      reply->map_epoch = known_epoch_;
+      net::Message wire;
+      wire.type = kRepReply;
+      wire.size = cfg_.reply_msg_bytes;
+      wire.body = std::move(reply);
+      if (trace::Collector::active() != nullptr) {
+        wire.trace = trace::Span{rep.op_id, trace::osd_track(id_)};
+      }
+      item.conn->send(std::move(wire));
+    }
+    co_return;
+  }
   Pg* pgp = find_pg(item.pg);
   if (pgp == nullptr) co_return;
   Pg& pg = *pgp;
@@ -668,6 +748,7 @@ void Osd::send_rep_op(OpCtx& op, std::uint32_t peer) {
   rep->op_id = msg.op_id;
   rep->pg = msg.pg;
   rep->version = op.version;
+  rep->epoch = known_epoch_;  // watchdog resends restamp with the fresh map
   if (!op.ec_shards.empty()) {
     // EC stripe: the sub-op carries only this peer's shard (oid, shard-space
     // offset, chunk payload) — the replica path itself is EC-oblivious. The
@@ -727,6 +808,22 @@ void Osd::on_rep_timeout(std::uint64_t op_id) {
   // Retries exhausted: abandon the silent peers and resolve the op with
   // whatever is durable — a degraded ack if min_size copies committed,
   // an ok=false failure otherwise.
+  if (cfg_.membership.detected()) {
+    // Degraded-ack gating: only a peer the learned map has marked down may
+    // be abandoned. A silent-but-up peer could mean *we* are the partitioned
+    // side — if the monitor later swings the PG to that peer, an ack issued
+    // here becomes acked-then-lost. Fail the op instead; the client retries
+    // against whatever primary the healed map names.
+    unsigned down = 0;
+    for (std::uint32_t peer : op->waiting_peers) {
+      if (peer < known_down_.size() && known_down_[peer]) down++;
+    }
+    if (down < op->waiting_peers.size()) {
+      counters_.add("osd.rep_unresolved_failures");
+      fail_op(op);
+      return;
+    }
+  }
   counters_.add("osd.rep_peers_abandoned", op->waiting_peers.size());
   op->commits_needed -= unsigned(op->waiting_peers.size());
   op->waiting_peers.clear();
@@ -1494,7 +1591,174 @@ sim::CoTask<void> Osd::recover_object(const fs::ObjectId& oid,
   meta_cache_.insert(oid, meta);
 }
 
+// ---------------------------------------------------------------------------
+// Membership (MembershipMode::kDetected; everything inert under kOracle)
+// ---------------------------------------------------------------------------
+
+void Osd::start_membership(std::uint64_t seed) {
+  if (!cfg_.membership.detected()) return;
+  const std::size_t n = cmap_.crush().osd_count();
+  known_down_.assign(n, false);
+  known_laggy_.assign(n, false);
+  hb_ = std::make_unique<HeartbeatAgent>(sim_, *this, cfg_.membership, seed);
+  hb_->start();
+}
+
+void Osd::announce_boot() {
+  if (hb_ != nullptr) hb_->on_restart();
+  send_beacon(/*boot=*/true);
+}
+
+std::vector<std::uint32_t> Osd::adjacent_peers() const {
+  std::set<std::uint32_t> s;
+  for (const auto& [pgid, pg] : pgs_) {
+    for (std::uint32_t m : pg->acting()) {
+      if (m != id_ && m != cluster::ClusterMap::kNoOsd) s.insert(m);
+    }
+  }
+  return {s.begin(), s.end()};
+}
+
+Time Osd::oldest_inflight_recv() const {
+  Time oldest = 0;
+  for (const auto& [op_id, op] : inflight_) {
+    const Time t = op->ts[kStRecv];
+    if (t != 0 && (oldest == 0 || t < oldest)) oldest = t;
+  }
+  return oldest;
+}
+
+void Osd::report_failure(std::uint32_t target, bool laggy) {
+  if (mon_conn_ == nullptr) return;
+  counters_.add(laggy ? "osd.laggy_reports" : "osd.failure_reports");
+  auto body = std::make_shared<FailureReportMsg>();
+  body->reporter = id_;
+  body->target = target;
+  body->laggy = laggy;
+  net::Message m;
+  m.type = kFailureReport;
+  m.size = 96;
+  m.body = std::move(body);
+  mon_conn_->send(std::move(m));
+}
+
+void Osd::send_beacon(bool boot) {
+  if (mon_conn_ == nullptr) return;
+  counters_.add("osd.beacons");
+  auto body = std::make_shared<MonBeaconMsg>();
+  body->osd = id_;
+  body->boot = boot;
+  net::Message m;
+  m.type = kMonBeacon;
+  m.size = 64;
+  m.body = std::move(body);
+  mon_conn_->send(std::move(m));
+}
+
+void Osd::send_fence_reply(const ClientIoMsg& msg, net::Connection* conn) {
+  auto reply = std::make_shared<IoReplyMsg>();
+  reply->op_id = msg.op_id;
+  reply->is_write = msg.is_write;
+  reply->ok = false;
+  reply->fenced = true;
+  reply->map_epoch = known_epoch_;
+  reply->issued_at = msg.issued_at;
+  net::Message wire;
+  wire.type = msg.is_write ? kWriteReply : kReadReply;
+  wire.size = cfg_.reply_msg_bytes;
+  wire.body = std::move(reply);
+  if (conn != nullptr) conn->send(std::move(wire));
+}
+
+void Osd::request_map() {
+  if (mon_conn_ == nullptr || requested_epoch_ == known_epoch_) return;
+  requested_epoch_ = known_epoch_;  // one request per epoch we are stuck at
+  counters_.add("osd.map_requests");
+  net::Message m;
+  m.type = kMapRequest;
+  m.size = 32;
+  m.body = std::make_shared<MapRequestMsg>();
+  mon_conn_->send(std::move(m));
+}
+
+void Osd::apply_map_delta(const MapDeltaMsg& delta) {
+  if (delta.epoch <= known_epoch_) {
+    counters_.add("osd.map_deltas_stale");
+    return;
+  }
+  known_epoch_ = delta.epoch;
+  counters_.add("osd.map_updates");
+  if (auto* tr = trace::Collector::active()) {
+    tr->instant(trace::Span{delta.epoch, trace::osd_track(id_)},
+                tr->stage_id(stage::kMapUpdate), sim_.now());
+  }
+  const std::size_t n = cmap_.crush().osd_count();
+  known_down_.assign(n, false);
+  known_laggy_.assign(n, false);
+  for (std::uint32_t o : delta.down)
+    if (o < n) known_down_[o] = true;
+  for (std::uint32_t o : delta.laggy)
+    if (o < n) known_laggy_[o] = true;
+
+  // Re-derive this OSD's PGs under the new map (ascending pgid: spawn order
+  // is part of the determinism contract). The primary of each changed PG
+  // drives recovery toward members that just (re)joined the acting set —
+  // the detected-mode counterpart of the injector's oracle retarget.
+  std::vector<std::uint32_t> pgids;
+  pgids.reserve(pgs_.size());
+  for (const auto& [pgid, pg] : pgs_) pgids.push_back(pgid);
+  std::sort(pgids.begin(), pgids.end());
+  for (std::uint32_t pgid : pgids) {
+    Pg& pg = *pgs_[pgid];
+    const std::vector<std::uint32_t> now_acting = cmap_.acting(pgid);
+    const std::vector<std::uint32_t> old_acting = pg.acting();
+    if (now_acting == old_acting) continue;
+    pg.set_acting(now_acting);
+    if (cluster_osds_.empty()) continue;
+    std::uint32_t prim = cluster::ClusterMap::kNoOsd;
+    for (std::uint32_t m : now_acting) {
+      if (m != cluster::ClusterMap::kNoOsd) {
+        prim = m;
+        break;
+      }
+    }
+    if (prim != id_) continue;
+    if (cmap_.erasure()) {
+      for (unsigned pos = 0; pos < unsigned(now_acting.size()); pos++) {
+        const std::uint32_t member = now_acting[pos];
+        if (member == cluster::ClusterMap::kNoOsd || member == id_) continue;
+        const bool changed =
+            pos >= old_acting.size() || old_acting[pos] != member;
+        if (!changed) continue;
+        counters_.add("osd.map_rebuilds");
+        sim::spawn_fn([this, pgid, pos, member]() -> sim::CoTask<void> {
+          co_await ec_rebuild_position(sim_, cmap_, cluster_osds_, pgid, pos,
+                                       *cluster_osds_[member]);
+        });
+      }
+    } else {
+      for (std::uint32_t member : now_acting) {
+        if (member == id_) continue;
+        if (std::find(old_acting.begin(), old_acting.end(), member) !=
+            old_acting.end()) {
+          continue;
+        }
+        // A brand-new member may not hold the PG yet: install it (acting
+        // set included) before the backfill pushes objects at it.
+        cluster_osds_[member]->set_pg_acting(pgid, now_acting);
+        counters_.add("osd.map_backfills");
+        Osd* dst = cluster_osds_[member];
+        sim::spawn_fn([this, pgid, dst]() -> sim::CoTask<void> {
+          co_await push_pg(pgid, *dst);
+        });
+      }
+    }
+  }
+  if (hb_ != nullptr) hb_->refresh_peers();
+}
+
 void Osd::on_crash() {
+  if (hb_ != nullptr) hb_->on_crash();
   inflight_.clear();
   ack_state_.clear();
   // A store with a deferred-write ledger loses it with the daemon's RAM;
@@ -1559,6 +1823,7 @@ sim::CoTask<void> Osd::replay_records(fs::Journal& j,
 
 void Osd::close() {
   closing_ = true;
+  if (hb_ != nullptr) hb_->stop();
   for (auto& q : shard_queues_) q->close();
   finisher_q_.close();
   completion_q_.close();

@@ -12,7 +12,9 @@
 #include "ec/codec.h"
 #include "fs/filestore.h"
 #include "fs/journal.h"
+#include "mon/membership.h"
 #include "osd/dout.h"
+#include "osd/heartbeat.h"
 #include "store/store_config.h"
 #include "osd/meta_cache.h"
 #include "osd/op.h"
@@ -81,6 +83,12 @@ struct OsdConfig {
   /// ClusterConfig::qos is the cluster-level (pool) declaration; ClusterSim
   /// plumbs it here for every OSD it builds.
   QosConfig qos;
+
+  /// Failure detection & map distribution (docs/FAULTS.md "injected vs
+  /// detected"). Under the default kOracle everything below — heartbeats,
+  /// epoch fencing, monitor traffic — is inert: no timers, no RNG, no
+  /// messages. ClusterSim plumbs ClusterConfig::membership here.
+  mon::MembershipConfig membership;
 };
 
 /// One Ceph OSD daemon: messenger dispatch → sharded OP_WQ → PG (lock or
@@ -150,6 +158,39 @@ class Osd : public net::Receiver {
   /// caller must not mark the OSD up (admit client ops or backfill pushes)
   /// while possibly-stale records are still applying.
   sim::CoTask<void> on_restart();
+
+  // --- membership (MembershipMode::kDetected only) ----------------------
+  /// Record this OSD's connection to the monitor (reports, beacons, map
+  /// requests travel over it; deltas arrive on the mon's own connection).
+  void set_mon_conn(net::Connection* conn) { mon_conn_ = conn; }
+  /// Hand the OSD the cluster roster (`osds[i]` has id i) so a primary can
+  /// drive backfill / EC rebuild when a monitor delta reshapes its PGs.
+  void set_cluster_osds(std::vector<Osd*> osds) { cluster_osds_ = std::move(osds); }
+  /// Construct and start the heartbeat agent (no-op under kOracle).
+  void start_membership(std::uint64_t seed);
+  /// Post-replay boot announcement: resume heartbeats, beacon the monitor
+  /// (the detected-mode replacement for the injector's oracle mark-up).
+  void announce_boot();
+  /// A monitor map delta arrived: adopt the epoch and membership state,
+  /// re-derive this OSD's PG acting sets, and — as primary — backfill or
+  /// EC-rebuild members that just (re)joined an acting set.
+  void apply_map_delta(const MapDeltaMsg& delta);
+  std::uint64_t known_epoch() const { return known_epoch_; }
+  /// Connection to a peer OSD, or nullptr (heartbeat agent send path).
+  net::Connection* peer_conn(std::uint32_t osd_id) {
+    auto it = peers_.find(osd_id);
+    return it == peers_.end() ? nullptr : it->second;
+  }
+  /// Sorted union of this OSD's PG acting sets minus itself: who the
+  /// heartbeat agent pings.
+  std::vector<std::uint32_t> adjacent_peers() const;
+  /// Receive timestamp of the oldest op still in flight (0 = none): the
+  /// self-laggy watermark (a wedged data path with crisp heartbeats).
+  Time oldest_inflight_recv() const;
+  /// Send a failure (or laggy) report about `target` to the monitor.
+  void report_failure(std::uint32_t target, bool laggy);
+  void send_beacon(bool boot);
+  HeartbeatAgent* heartbeat() { return hb_.get(); }
 
   /// Close all internal queues so worker coroutines drain and exit.
   void close();
@@ -226,6 +267,12 @@ class Osd : public net::Receiver {
   void on_rep_timeout(std::uint64_t op_id);
   /// Resolve an op as failed: reply ok=false, release throttles, account.
   void fail_op(OpRef op);
+
+  // --- membership helpers (kDetected only) -------------------------------
+  /// Reject a stale-epoch client op before admission (no throttles held).
+  void send_fence_reply(const ClientIoMsg& msg, net::Connection* conn);
+  /// Ask the monitor for the current map (once per stuck epoch).
+  void request_map();
 
   // --- journal & completions --------------------------------------------
   struct CompletionEvent {
@@ -344,6 +391,18 @@ class Osd : public net::Receiver {
     std::map<std::uint64_t, OpRef> held;
   };
   std::unordered_map<std::uint64_t, ClientAckState> ack_state_;
+
+  // --- membership state (empty/null under kOracle) ------------------------
+  std::unique_ptr<HeartbeatAgent> hb_;
+  net::Connection* mon_conn_ = nullptr;
+  /// Newest map epoch this daemon has *learned* (lazily, from deltas) — the
+  /// fence line for incoming ops. Distinct from cmap_.epoch(), the shared
+  /// ground truth a partitioned daemon has not seen yet.
+  std::uint64_t known_epoch_ = 1;
+  std::uint64_t requested_epoch_ = 0;  // map-request dedup per stuck epoch
+  std::vector<bool> known_down_;   // from the last applied delta
+  std::vector<bool> known_laggy_;
+  std::vector<Osd*> cluster_osds_;  // roster for delta-driven backfill
 
   Histogram stage_hist_[kStageCount];
   Histogram write_total_;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -171,6 +172,119 @@ TEST(Crush, ZeroWeightExcluded) {
   c.add_osd(1, 1, 1.0);
   for (std::uint32_t pg = 0; pg < 64; pg++) {
     for (auto osd : c.place(0, pg, 1)) EXPECT_EQ(osd, 1u);
+  }
+}
+
+TEST(ClusterMap, UpInSplitDownDegradesWithoutMove) {
+  // Detected-membership semantics: down (up=false, in=true) shrinks the
+  // acting set in place — no replacement, no data movement; only out
+  // (in=false) re-places.
+  ClusterMap m(ClusterMap::PoolConfig{64, 2});
+  m.set_filter_down(true);
+  for (unsigned i = 0; i < 8; i++) m.crush().add_osd(i, i / 2);
+  // Find a PG that osd.3 serves.
+  std::uint32_t pg = 0;
+  std::vector<std::uint32_t> before;
+  for (; pg < 64; pg++) {
+    before = m.acting(pg);
+    if (before.size() == 2 && (before[0] == 3 || before[1] == 3)) break;
+  }
+  ASSERT_LT(pg, 64u) << "osd.3 serves no PG?";
+
+  m.crush().set_up_only(3, false);
+  m.bump_epoch();
+  const auto down = m.acting(pg);
+  ASSERT_EQ(down.size(), 1u);  // shrunk, not re-placed
+  EXPECT_EQ(down[0], before[0] == 3 ? before[1] : before[0]);
+
+  m.crush().set_in(3, false);  // mark-out: now data moves
+  m.bump_epoch();
+  const auto out = m.acting(pg);
+  ASSERT_EQ(out.size(), 2u);  // backfilled to full size
+  EXPECT_EQ(std::count(out.begin(), out.end(), 3u), 0);
+
+  m.crush().set_in(3, true);
+  m.crush().set_up_only(3, true);
+  m.bump_epoch();
+  EXPECT_EQ(m.acting(pg), before);  // full recovery restores the mapping
+}
+
+TEST(ClusterMap, ActingCacheRapidEpochBumps) {
+  // A burst of epoch bumps (the monitor publishing several deltas quickly)
+  // must never serve a stale cached acting set, and bumps without topology
+  // change must be stable.
+  ClusterMap m(ClusterMap::PoolConfig{128, 2});
+  m.set_filter_down(true);
+  for (unsigned i = 0; i < 8; i++) m.crush().add_osd(i, i / 2);
+  std::vector<std::vector<std::uint32_t>> baseline;
+  for (std::uint32_t pg = 0; pg < 128; pg++) baseline.push_back(m.acting(pg));
+
+  for (int round = 0; round < 4; round++) {
+    m.bump_epoch();  // no topology change: identical answers
+    for (std::uint32_t pg = 0; pg < 128; pg++) EXPECT_EQ(m.acting(pg), baseline[pg]);
+  }
+
+  // Rapid down/up flaps, one bump each: every epoch's answer reflects the
+  // state at that epoch, never the previous one.
+  for (int flap = 0; flap < 3; flap++) {
+    m.crush().set_up_only(5, false);
+    m.bump_epoch();
+    for (std::uint32_t pg = 0; pg < 128; pg++) {
+      const auto& a = m.acting(pg);
+      EXPECT_EQ(std::count(a.begin(), a.end(), 5u), 0) << "stale cache at pg " << pg;
+    }
+    m.crush().set_up_only(5, true);
+    m.bump_epoch();
+    for (std::uint32_t pg = 0; pg < 128; pg++) EXPECT_EQ(m.acting(pg), baseline[pg]);
+  }
+}
+
+TEST(ClusterMap, EcRemapPositionalStabilityRapidBumps) {
+  // EC shard positions are not interchangeable: across a down -> bump ->
+  // up -> bump flap sequence, survivors must keep their exact positions,
+  // the down member's slot holes to kNoOsd, and the returning member
+  // reclaims its original slot.
+  ClusterMap::PoolConfig pool{32, 2};
+  pool.scheme = ClusterMap::Scheme::kErasure;
+  pool.ec_k = 4;
+  pool.ec_m = 2;
+  ClusterMap m(pool);
+  m.set_filter_down(true);
+  for (unsigned i = 0; i < 8; i++) m.crush().add_osd(i, i);  // 8 hosts
+
+  std::vector<std::vector<std::uint32_t>> baseline;
+  for (std::uint32_t pg = 0; pg < 32; pg++) {
+    baseline.push_back(m.acting(pg));
+    ASSERT_EQ(baseline.back().size(), 6u);
+  }
+
+  for (int flap = 0; flap < 3; flap++) {
+    m.crush().set_up_only(2, false);
+    m.bump_epoch();
+    for (std::uint32_t pg = 0; pg < 32; pg++) {
+      const auto& a = m.acting(pg);
+      ASSERT_EQ(a.size(), 6u);
+      for (std::size_t s = 0; s < 6; s++) {
+        if (baseline[pg][s] == 2u) {
+          EXPECT_EQ(a[s], ClusterMap::kNoOsd) << "pg " << pg << " shard " << s;
+        } else {
+          EXPECT_EQ(a[s], baseline[pg][s]) << "pg " << pg << " shard " << s;
+        }
+      }
+    }
+    m.bump_epoch();  // extra bump while still down: same answer, no drift
+    for (std::uint32_t pg = 0; pg < 32; pg++) {
+      for (std::size_t s = 0; s < 6; s++) {
+        if (baseline[pg][s] != 2u) {
+          EXPECT_EQ(m.acting(pg)[s], baseline[pg][s]);
+        }
+      }
+    }
+    m.crush().set_up_only(2, true);
+    m.bump_epoch();
+    for (std::uint32_t pg = 0; pg < 32; pg++) {
+      EXPECT_EQ(m.acting(pg), baseline[pg]) << "returning shard lost its position, pg " << pg;
+    }
   }
 }
 
